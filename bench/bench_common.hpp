@@ -1,0 +1,43 @@
+// Shared helpers for the experiment harness binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::bench {
+
+/// Standard experiment banner: which table/figure this regenerates.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "#\n# " << id << " — " << claim << "\n"
+            << "# (scale trials/sizes with P2PVOD_SCALE=<factor>; set "
+               "P2PVOD_CSV_DIR to also write CSV series)\n#\n";
+}
+
+/// Trial count scaled by P2PVOD_SCALE, with a floor of `min_trials`.
+inline std::uint32_t scaled(std::uint32_t base, std::uint32_t min_value = 1) {
+  const double scale = util::bench_scale();
+  const double value = static_cast<double>(base) * scale;
+  return value < min_value ? min_value : static_cast<std::uint32_t>(value);
+}
+
+/// Print the table and, when P2PVOD_CSV_DIR is set, also write it as
+/// <dir>/<id>.csv — the plottable artifact for each figure.
+inline void emit(const util::Table& table, const std::string& id) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("P2PVOD_CSV_DIR"); dir != nullptr) {
+    const std::string path = std::string(dir) + "/" + id + ".csv";
+    try {
+      table.write_csv(path);
+      std::cout << "[csv] " << path << "\n";
+    } catch (const std::exception& error) {
+      std::cerr << "[csv] failed: " << error.what() << "\n";
+    }
+  }
+}
+
+}  // namespace p2pvod::bench

@@ -1,0 +1,55 @@
+// E3 — catalog scalability (abstract, §1.3 vs Theorem 1).
+//
+// For u > 1 the maximum feasible catalog must grow linearly with n (Theorem
+// 1: m = Ω(n)); for u < 1 it is pinned at the constant d_max·c = d_max/ℓ
+// (§1.3). We measure the empirical maximum catalog by binary search: largest
+// m such that a random permutation allocation with k = ⌊d·n/m⌋ survives the
+// full adversarial suite.
+#include <iostream>
+
+#include "analysis/calibrate.hpp"
+#include "analysis/impossibility.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace p2pvod;
+  bench::banner("E3 / catalog scaling figure",
+                "max feasible catalog vs n: linear above u=1, constant below");
+
+  const std::uint32_t trials = bench::scaled(4, 2);
+  analysis::TrialSpec spec;
+  spec.d = 4.0;
+  spec.mu = 1.3;
+  spec.c = 4;
+  spec.duration = 10;
+  spec.rounds = 30;
+  spec.suite = analysis::WorkloadSuite::kFull;
+
+  util::Table table("empirical max catalog (binary search, full suite, " +
+                    std::to_string(trials) + " seeds/point)");
+  table.set_header({"n", "u=1.5: max m", "m/n", "k used", "u=0.75: max m",
+                    "Sec1.3 limit d*c"});
+  const auto limit = static_cast<std::uint32_t>(spec.d * spec.c);
+  for (const std::uint32_t n : {16u, 32u, 64u, bench::scaled(128, 96)}) {
+    spec.n = n;
+    spec.u = 1.5;
+    const auto scalable =
+        analysis::Calibrator::max_catalog(spec, 1.0, trials, 0xE3);
+    spec.u = 0.75;
+    const auto starved =
+        analysis::Calibrator::max_catalog(spec, 1.0, trials, 0xE3);
+    table.begin_row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(scalable.m))
+        .cell(n == 0 ? 0.0 : static_cast<double>(scalable.m) / n, 3)
+        .cell(static_cast<std::uint64_t>(scalable.k))
+        .cell(static_cast<std::uint64_t>(starved.m))
+        .cell(static_cast<std::uint64_t>(limit));
+  }
+  p2pvod::bench::emit(table, "E3_catalog_scaling");
+  std::cout << "\nExpected shape: the u=1.5 column grows ~linearly in n "
+               "(m/n roughly constant);\nthe u=0.75 column stays below the "
+               "Section 1.3 constant d*c regardless of n.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E12b — simulator round-throughput benchmarks (google-benchmark).
+//
+// Measures full simulated rounds per second under a steady Zipf audience,
+// ablating the incremental matcher (reuse last round's connections) against
+// a from-scratch solve each round, and scaling n.
+#include <benchmark/benchmark.h>
+
+#include "alloc/permutation.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/limiter.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace p2pvod;
+
+struct BenchWorld {
+  BenchWorld(std::uint32_t n, bool incremental)
+      : catalog(std::max<std::uint32_t>(2, 4 * n / 6), 4, 16),
+        profile(model::CapacityProfile::homogeneous(n, 2.0, 4.0)),
+        rng(0xBEEF),
+        allocation(alloc::PermutationAllocator().allocate(catalog, profile, 6,
+                                                          rng)) {
+    options.incremental = incremental;
+    options.strict = false;
+  }
+
+  model::Catalog catalog;
+  model::CapacityProfile profile;
+  util::Rng rng;
+  alloc::Allocation allocation;
+  sim::SimulatorOptions options;
+};
+
+void run_rounds(benchmark::State& state, bool incremental) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  BenchWorld world(n, incremental);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::PreloadingStrategy strategy;
+    sim::Simulator simulator(world.catalog, world.profile, world.allocation,
+                             strategy, world.options);
+    workload::ZipfDemand zipf(world.catalog.video_count(), 0.8, 0.1, 0x51);
+    workload::GrowthLimiter limited(zipf, 1.3);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(simulator.run(limited, 32).chunks_served);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 32.0,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SimulatorIncremental(benchmark::State& state) {
+  run_rounds(state, true);
+}
+BENCHMARK(BM_SimulatorIncremental)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorFullRematch(benchmark::State& state) {
+  run_rounds(state, false);
+}
+BENCHMARK(BM_SimulatorFullRematch)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Allocation cost (setup path, not the round loop).
+void BM_PermutationAllocate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const model::Catalog catalog(std::max<std::uint32_t>(2, 4 * n / 6), 4, 16);
+  const auto profile = model::CapacityProfile::homogeneous(n, 2.0, 4.0);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        alloc::PermutationAllocator()
+            .allocate(catalog, profile, 6, rng)
+            .max_slot_usage());
+  }
+}
+BENCHMARK(BM_PermutationAllocate)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// adversary_hunt — find, certify and preserve a defeating demand sequence.
+//
+// Given an operating point (n, u, d, c, k), hunts across adversary families
+// and seeds for a demand sequence that stalls the system, then:
+//   * reports the Hall-violating request set at the stall (the min-cut
+//     witness of Lemma 1 — the paper's "obstruction"),
+//   * saves the trace to a file, and
+//   * replays the trace against a fresh simulator to prove it reproduces.
+// Near the threshold (u slightly above 1 with skimpy k) this finds defeats
+// quickly; far above it the hunt comes back empty-handed — which is the
+// paper's Theorem 1 in action.
+//
+//   ./adversary_hunt [--u 1.1] [--k 2] [--n 64] [--seeds 12] [--out trace.txt]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "alloc/permutation.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/distinct.hpp"
+#include "workload/flash_crowd.hpp"
+#include "workload/limiter.hpp"
+#include "workload/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pvod;
+  const util::ArgParser args(argc, argv);
+
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 64));
+  const double u = args.get_double("u", 1.1);
+  const double d = args.get_double("d", 4.0);
+  const double mu = args.get_double("mu", 1.5);
+  const auto c = static_cast<std::uint32_t>(args.get_int("c", 4));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 2));
+  const auto seeds = static_cast<std::uint32_t>(args.get_int("seeds", 12));
+  const model::Round T = args.get_int("duration", 12);
+  const model::Round rounds = args.get_int("rounds", 48);
+  const std::string out_path = args.get_string("out", "defeating_trace.txt");
+
+  const auto m = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(d * n / k));
+  const model::Catalog catalog(m, c, T);
+  const auto profile = model::CapacityProfile::homogeneous(n, u, d);
+  std::cout << "Hunting defeats of n=" << n << " u=" << u << " c=" << c
+            << " k=" << k << " m=" << m << " (mu=" << mu << ", " << seeds
+            << " seeds x 3 adversary families)\n";
+
+  sim::PreloadingStrategy strategy;
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    util::Rng rng(0xAD0000 + seed);
+    const auto allocation =
+        alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
+
+    for (int family = 0; family < 3; ++family) {
+      std::unique_ptr<workload::DemandGenerator> inner;
+      switch (family) {
+        case 0:
+          inner = std::make_unique<workload::AvoiderAdversary>(seed);
+          break;
+        case 1:
+          inner = std::make_unique<workload::FlashCrowd>(
+              static_cast<model::VideoId>(seed % m), mu);
+          break;
+        default:
+          inner = std::make_unique<workload::DistinctVideosSweep>(
+              seed, /*repeat=*/true);
+      }
+      workload::GrowthLimiter limited(*inner, mu);
+      workload::TraceRecorder recorder(limited);
+      sim::Simulator simulator(catalog, profile, allocation, strategy);
+      const auto report = simulator.run(recorder, rounds);
+      if (report.success) continue;
+
+      std::cout << "\nDEFEAT found: adversary=" << inner->name()
+                << " seed=" << seed << "\n  " << report.summary() << "\n"
+                << "  Hall-violating set at the stall: |X|="
+                << report.stall_witness_size
+                << " requests whose candidate boxes' capacity is "
+                   "insufficient (Lemma 1).\n";
+      recorder.trace().save_file(out_path);
+      std::cout << "  trace (" << recorder.trace().size()
+                << " demands) saved to " << out_path << "\n";
+
+      // Replay to certify the artifact.
+      workload::TraceReplay replay(workload::Trace::load_file(out_path));
+      sim::Simulator fresh(catalog, profile, allocation, strategy);
+      const auto again = fresh.run(replay, rounds);
+      std::cout << "  replay: " << again.summary() << "\n"
+                << (again.first_stall == report.first_stall
+                        ? "  certified: identical stall round."
+                        : "  WARNING: replay diverged!")
+                << "\n";
+      return EXIT_SUCCESS;
+    }
+  }
+  std::cout << "\nNo defeating sequence found — at this operating point the "
+               "random allocation\nabsorbed every adversary tried (Theorem 1 "
+               "territory). Lower u or k to watch it break.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,68 @@
+// flash_crowd — a premiere-night stress test.
+//
+// One video attracts joiners at the maximal growth rate µ (every round the
+// swarm multiplies by µ) while the rest of the fleet idles. Runs the same
+// crowd twice — once with the paper's §3 preloading strategy and once with
+// the naive all-stripes-at-once strategy — and shows why the staggered
+// preload is load-bearing: the naive swarm cannot serve itself and collapses
+// onto the k static replicas.
+//
+//   ./flash_crowd [--n 256] [--mu 2.0] [--u 1.5] [--c 4] [--k 4]
+#include <cstdlib>
+#include <iostream>
+
+#include "alloc/permutation.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/flash_crowd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pvod;
+  const util::ArgParser args(argc, argv);
+
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 256));
+  const double u = args.get_double("u", 1.5);
+  const double mu = args.get_double("mu", 2.0);
+  const auto c = static_cast<std::uint32_t>(args.get_int("c", 4));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 4));
+  const double d = args.get_double("d", 4.0);
+  const model::Round T = args.get_int("duration", 24);
+  const auto m = static_cast<std::uint32_t>(
+      std::max(1.0, d * n / static_cast<double>(k)));
+
+  const model::Catalog catalog(m, c, T);
+  const auto profile = model::CapacityProfile::homogeneous(n, u, d);
+  util::Rng rng(args.get_seed("seed", 2009));
+  const auto allocation =
+      alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
+  std::cout << "Fleet: n=" << n << " u=" << u << " d=" << d << "; "
+            << catalog.describe() << "; swarm growth mu=" << mu << "\n\n";
+
+  util::Table table("flash crowd: preloading (paper, Section 3) vs naive");
+  table.set_header({"strategy", "outcome", "joined", "peak swarm",
+                    "chunks served", "first stall", "startup p50"});
+  for (const auto kind :
+       {sim::StrategyKind::kPreloading, sim::StrategyKind::kNaive}) {
+    const auto strategy = sim::make_strategy(kind);
+    sim::Simulator simulator(catalog, profile, allocation, *strategy);
+    workload::FlashCrowd crowd(/*video=*/0, mu);
+    const auto report = simulator.run(crowd, 3 * T);
+    table.begin_row()
+        .cell(strategy->name())
+        .cell(report.success ? "SURVIVED" : "COLLAPSED")
+        .cell(static_cast<std::uint64_t>(crowd.total_joined()))
+        .cell(static_cast<std::uint64_t>(report.peak_swarm))
+        .cell(report.chunks_served)
+        .cell(report.first_stall)
+        .cell(report.startup_delay.total() > 0
+                  ? std::to_string(report.startup_delay.percentile(0.5))
+                  : "-");
+  }
+  table.print(std::cout);
+  std::cout << "\nThe preloading strategy staggers each joiner's stripes so "
+               "earlier joiners\nserve later ones (the swarm feeds itself); "
+               "naive joiners all sit at the same\nplayback position and can "
+               "only lean on the k static replicas.\n";
+  return EXIT_SUCCESS;
+}

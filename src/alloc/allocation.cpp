@@ -1,0 +1,169 @@
+#include "alloc/allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pvod::alloc {
+
+Allocation::Allocation(std::uint32_t box_count, std::uint32_t stripe_count,
+                       std::vector<Placement> placements)
+    : box_count_(box_count), stripe_count_(stripe_count) {
+  slot_usage_.assign(box_count_, 0);
+  for (const Placement& p : placements) {
+    if (p.box >= box_count_)
+      throw std::out_of_range("Allocation: box id out of range");
+    if (p.stripe >= stripe_count_)
+      throw std::out_of_range("Allocation: stripe id out of range");
+    ++slot_usage_[p.box];
+  }
+
+  // Sort by (stripe, box) to build the holders CSR with deduplication.
+  std::sort(placements.begin(), placements.end(),
+            [](const Placement& a, const Placement& b) {
+              return a.stripe != b.stripe ? a.stripe < b.stripe
+                                          : a.box < b.box;
+            });
+  holder_offsets_.assign(stripe_count_ + 1, 0);
+  holder_data_.reserve(placements.size());
+  {
+    model::StripeId prev_stripe = model::kInvalidStripe;
+    model::BoxId prev_box = model::kInvalidBox;
+    for (const Placement& p : placements) {
+      if (p.stripe == prev_stripe && p.box == prev_box) {
+        ++duplicates_;
+        continue;
+      }
+      holder_data_.push_back(p.box);
+      ++holder_offsets_[p.stripe + 1];
+      prev_stripe = p.stripe;
+      prev_box = p.box;
+    }
+  }
+  std::partial_sum(holder_offsets_.begin(), holder_offsets_.end(),
+                   holder_offsets_.begin());
+
+  // Second direction: (box, stripe), deduplicated identically.
+  std::sort(placements.begin(), placements.end(),
+            [](const Placement& a, const Placement& b) {
+              return a.box != b.box ? a.box < b.box : a.stripe < b.stripe;
+            });
+  stored_offsets_.assign(box_count_ + 1, 0);
+  stored_data_.reserve(holder_data_.size());
+  {
+    model::StripeId prev_stripe = model::kInvalidStripe;
+    model::BoxId prev_box = model::kInvalidBox;
+    for (const Placement& p : placements) {
+      if (p.stripe == prev_stripe && p.box == prev_box) continue;
+      stored_data_.push_back(p.stripe);
+      ++stored_offsets_[p.box + 1];
+      prev_stripe = p.stripe;
+      prev_box = p.box;
+    }
+  }
+  std::partial_sum(stored_offsets_.begin(), stored_offsets_.end(),
+                   stored_offsets_.begin());
+}
+
+std::span<const model::BoxId> Allocation::holders(model::StripeId s) const {
+  if (s >= stripe_count_) throw std::out_of_range("Allocation::holders");
+  return {holder_data_.data() + holder_offsets_[s],
+          holder_data_.data() + holder_offsets_[s + 1]};
+}
+
+std::span<const model::StripeId> Allocation::stored(model::BoxId b) const {
+  if (b >= box_count_) throw std::out_of_range("Allocation::stored");
+  return {stored_data_.data() + stored_offsets_[b],
+          stored_data_.data() + stored_offsets_[b + 1]};
+}
+
+bool Allocation::box_has(model::BoxId b, model::StripeId s) const {
+  const auto range = stored(b);
+  return std::binary_search(range.begin(), range.end(), s);
+}
+
+bool Allocation::box_has_video_data(model::BoxId b,
+                                    const model::Catalog& catalog,
+                                    model::VideoId v) const {
+  const auto range = stored(b);
+  // Stripes of v occupy the contiguous id interval [v*c, (v+1)*c).
+  const model::StripeId lo = catalog.stripe_id(v, 0);
+  const auto it = std::lower_bound(range.begin(), range.end(), lo);
+  return it != range.end() && *it < lo + catalog.stripes_per_video();
+}
+
+std::uint32_t Allocation::slot_usage(model::BoxId b) const {
+  if (b >= box_count_) throw std::out_of_range("Allocation::slot_usage");
+  return slot_usage_[b];
+}
+
+std::uint32_t Allocation::min_replication() const {
+  std::uint32_t lo = static_cast<std::uint32_t>(-1);
+  for (model::StripeId s = 0; s < stripe_count_; ++s) {
+    lo = std::min(lo, holder_offsets_[s + 1] - holder_offsets_[s]);
+  }
+  return stripe_count_ == 0 ? 0 : lo;
+}
+
+std::uint32_t Allocation::max_replication() const {
+  std::uint32_t hi = 0;
+  for (model::StripeId s = 0; s < stripe_count_; ++s) {
+    hi = std::max(hi, holder_offsets_[s + 1] - holder_offsets_[s]);
+  }
+  return hi;
+}
+
+std::uint32_t Allocation::max_slot_usage() const {
+  if (slot_usage_.empty()) return 0;
+  return *std::max_element(slot_usage_.begin(), slot_usage_.end());
+}
+
+double Allocation::mean_slot_usage() const {
+  if (slot_usage_.empty()) return 0.0;
+  return std::accumulate(slot_usage_.begin(), slot_usage_.end(), 0.0) /
+         static_cast<double>(slot_usage_.size());
+}
+
+void Allocation::check_integrity(const model::CapacityProfile* profile,
+                                 std::uint32_t c) const {
+  // Holder lists sorted and unique.
+  for (model::StripeId s = 0; s < stripe_count_; ++s) {
+    const auto range = holders(s);
+    for (std::size_t i = 1; i < range.size(); ++i) {
+      if (range[i - 1] >= range[i])
+        throw std::logic_error("Allocation: holder list not sorted/unique");
+    }
+  }
+  // Inverse-map consistency: b in holders(s) <=> s in stored(b).
+  std::uint64_t forward = 0;
+  for (model::StripeId s = 0; s < stripe_count_; ++s) {
+    for (const model::BoxId b : holders(s)) {
+      if (!box_has(b, s))
+        throw std::logic_error("Allocation: holders/stored mismatch");
+      ++forward;
+    }
+  }
+  if (forward != stored_data_.size())
+    throw std::logic_error("Allocation: relation sizes differ");
+  // Slot capacity (when a profile is supplied).
+  if (profile != nullptr) {
+    if (profile->size() != box_count_)
+      throw std::logic_error("Allocation: profile size mismatch");
+    for (model::BoxId b = 0; b < box_count_; ++b) {
+      if (slot_usage_[b] > profile->storage_slots(b, c))
+        throw std::logic_error("Allocation: box over storage capacity");
+    }
+  }
+}
+
+std::string Allocation::describe() const {
+  std::ostringstream out;
+  out << "allocation boxes=" << box_count_ << " stripes=" << stripe_count_
+      << " replicas=" << stored_data_.size()
+      << " dup=" << duplicates_ << " repl[min,max]=[" << min_replication()
+      << "," << max_replication() << "] load[max]=" << max_slot_usage();
+  return out.str();
+}
+
+}  // namespace p2pvod::alloc

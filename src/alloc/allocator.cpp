@@ -1,0 +1,40 @@
+#include "alloc/allocator.hpp"
+
+#include <stdexcept>
+
+#include "alloc/full_replication.hpp"
+#include "alloc/independent.hpp"
+#include "alloc/permutation.hpp"
+#include "alloc/round_robin.hpp"
+
+namespace p2pvod::alloc {
+
+const char* scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kPermutation:
+      return "permutation";
+    case Scheme::kIndependent:
+      return "independent";
+    case Scheme::kRoundRobin:
+      return "round-robin";
+    case Scheme::kFullReplication:
+      return "full-replication";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Allocator> make_allocator(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPermutation:
+      return std::make_unique<PermutationAllocator>();
+    case Scheme::kIndependent:
+      return std::make_unique<IndependentAllocator>();
+    case Scheme::kRoundRobin:
+      return std::make_unique<RoundRobinAllocator>();
+    case Scheme::kFullReplication:
+      return std::make_unique<FullReplicationAllocator>();
+  }
+  throw std::logic_error("make_allocator: bad scheme");
+}
+
+}  // namespace p2pvod::alloc

@@ -1,0 +1,40 @@
+// Allocator interface and factory for the schemes of §2.1 plus baselines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "alloc/allocation.hpp"
+#include "model/capacity.hpp"
+#include "model/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace p2pvod::alloc {
+
+/// Which placement scheme to use (DESIGN.md S4).
+enum class Scheme {
+  kPermutation,      ///< §2.1 random permutation of replicas into slots
+  kIndependent,      ///< §2.1 independent box choice per replica
+  kRoundRobin,       ///< deterministic striping (test/sanity baseline)
+  kFullReplication,  ///< Push-to-Peer-style constant catalog ([22] baseline)
+};
+
+[[nodiscard]] const char* scheme_name(Scheme scheme) noexcept;
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Place k replicas of every stripe of `catalog` onto boxes with the
+  /// capacities of `profile`. Throws std::invalid_argument when the replicas
+  /// cannot fit (k m c > total slots) or the scheme's preconditions fail.
+  [[nodiscard]] virtual Allocation allocate(
+      const model::Catalog& catalog, const model::CapacityProfile& profile,
+      std::uint32_t k, util::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Allocator> make_allocator(Scheme scheme);
+
+}  // namespace p2pvod::alloc

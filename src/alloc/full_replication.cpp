@@ -1,0 +1,41 @@
+#include "alloc/full_replication.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pvod::alloc {
+
+std::uint32_t FullReplicationAllocator::max_catalog(
+    const model::CapacityProfile& profile, std::uint32_t c) {
+  if (profile.size() == 0) return 0;
+  std::uint32_t lo = static_cast<std::uint32_t>(-1);
+  for (model::BoxId b = 0; b < profile.size(); ++b) {
+    lo = std::min(lo, profile.storage_slots(b, c));
+  }
+  return lo;  // one slot per video (each box stores exactly one stripe of it)
+}
+
+Allocation FullReplicationAllocator::allocate(
+    const model::Catalog& catalog, const model::CapacityProfile& profile,
+    std::uint32_t /*k*/, util::Rng& /*rng*/) const {
+  const std::uint32_t c = catalog.stripes_per_video();
+  const std::uint32_t limit = max_catalog(profile, c);
+  if (catalog.video_count() > limit) {
+    throw std::invalid_argument(
+        "FullReplicationAllocator: catalog exceeds per-box storage "
+        "(m must be <= min_b floor(d_b*c))");
+  }
+  std::vector<Allocation::Placement> placements;
+  placements.reserve(static_cast<std::uint64_t>(profile.size()) *
+                     catalog.video_count());
+  for (model::BoxId b = 0; b < profile.size(); ++b) {
+    const std::uint32_t index = b % c;
+    for (model::VideoId v = 0; v < catalog.video_count(); ++v) {
+      placements.push_back({b, catalog.stripe_id(v, index)});
+    }
+  }
+  return Allocation(profile.size(), catalog.stripe_count(),
+                    std::move(placements));
+}
+
+}  // namespace p2pvod::alloc

@@ -1,0 +1,36 @@
+// Full-replication baseline (Push-to-Peer style, Suh et al. [22]).
+//
+// "Each box stores a constant portion of each video" (§1.2): box b stores
+// stripe index (b mod c) of every video in the catalog. Every box therefore
+// possesses data of every video (portion ℓ = 1/c), each stripe has ≈ n/c
+// holders, and the catalog is pinned at m ≤ d·c = d/ℓ — the §1.3 constant-
+// catalog regime. This is the comparator for experiment E11: it serves
+// arbitrary demand even with u < 1 (massive sourcing) but cannot scale the
+// catalog with n, whereas the paper's random allocation scales m = Ω(n) but
+// requires u > 1.
+//
+// The replication parameter k is ignored (replication is n/c by structure);
+// callers pass the catalog whose size m must satisfy m <= floor(d_b*c) for
+// every box.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace p2pvod::alloc {
+
+class FullReplicationAllocator final : public Allocator {
+ public:
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k,
+                                    util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override {
+    return "full-replication";
+  }
+
+  /// Largest catalog this scheme supports: min_b floor(d_b · c).
+  [[nodiscard]] static std::uint32_t max_catalog(
+      const model::CapacityProfile& profile, std::uint32_t c);
+};
+
+}  // namespace p2pvod::alloc

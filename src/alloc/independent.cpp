@@ -1,0 +1,55 @@
+#include "alloc/independent.hpp"
+
+#include <stdexcept>
+
+namespace p2pvod::alloc {
+
+Allocation IndependentAllocator::allocate(const model::Catalog& catalog,
+                                          const model::CapacityProfile& profile,
+                                          std::uint32_t k,
+                                          util::Rng& rng) const {
+  if (k == 0) throw std::invalid_argument("IndependentAllocator: k == 0");
+  const std::uint32_t c = catalog.stripes_per_video();
+  const std::uint64_t replicas =
+      static_cast<std::uint64_t>(k) * catalog.stripe_count();
+  const std::uint64_t slots = profile.total_storage_slots(c);
+  if (replicas > slots) {
+    throw std::invalid_argument(
+        "IndependentAllocator: k*m*c replicas exceed d*n*c slots");
+  }
+
+  // "Probability proportional to storage capacity" == draw a uniform global
+  // slot index and take its owner (static weights, independent of fill).
+  std::vector<model::BoxId> slot_owner;
+  slot_owner.reserve(slots);
+  for (model::BoxId b = 0; b < profile.size(); ++b) {
+    const std::uint32_t box_slots = profile.storage_slots(b, c);
+    slot_owner.insert(slot_owner.end(), box_slots, b);
+  }
+  std::vector<std::uint32_t> free_slots(profile.size());
+  for (model::BoxId b = 0; b < profile.size(); ++b)
+    free_slots[b] = profile.storage_slots(b, c);
+
+  std::vector<Allocation::Placement> placements;
+  placements.reserve(replicas);
+  for (model::StripeId s = 0; s < catalog.stripe_count(); ++s) {
+    for (std::uint32_t r = 0; r < k; ++r) {
+      model::BoxId box = slot_owner[rng.next_below(slots)];
+      if (free_slots[box] == 0) {
+        if (policy_ == FullBoxPolicy::kFail) {
+          throw std::runtime_error(
+              "IndependentAllocator: replica fell into a full box");
+        }
+        do {
+          box = slot_owner[rng.next_below(slots)];
+        } while (free_slots[box] == 0);
+      }
+      --free_slots[box];
+      placements.push_back({box, s});
+    }
+  }
+  return Allocation(profile.size(), catalog.stripe_count(),
+                    std::move(placements));
+}
+
+}  // namespace p2pvod::alloc

@@ -1,0 +1,33 @@
+// Random independent allocation (§2.1).
+//
+// Each replica independently picks a box with probability proportional to the
+// box's storage capacity. The paper notes the process "is stopped as soon as
+// a replica falls in a completely filled-up box"; we expose that as a policy:
+//   kFail   — throw (the paper's reading: the allocation attempt fails)
+//   kRedraw — redraw until a box with free slots is found (practical variant)
+// Box loads concentrate only when c = Ω(log n) (Theorem 1's remark), which
+// experiment E6 demonstrates.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace p2pvod::alloc {
+
+enum class FullBoxPolicy { kFail, kRedraw };
+
+class IndependentAllocator final : public Allocator {
+ public:
+  explicit IndependentAllocator(FullBoxPolicy policy = FullBoxPolicy::kRedraw)
+      : policy_(policy) {}
+
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k,
+                                    util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "independent"; }
+
+ private:
+  FullBoxPolicy policy_;
+};
+
+}  // namespace p2pvod::alloc

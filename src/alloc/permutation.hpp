@@ -1,0 +1,23 @@
+// Random permutation allocation (§2.1).
+//
+// The k·m·c stripe replicas are mapped through a uniform random permutation π
+// onto the Σ_b round(d_b·c) storage slots of the boxes (slot j of the global
+// slot array belongs to the box whose slot range contains j). With equal
+// storage this stores exactly d·c replicas per box — perfectly balanced by
+// construction, which is why Theorem 1 does not need c = Ω(log n) for it.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace p2pvod::alloc {
+
+class PermutationAllocator final : public Allocator {
+ public:
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k,
+                                    util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "permutation"; }
+};
+
+}  // namespace p2pvod::alloc

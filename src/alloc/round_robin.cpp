@@ -1,0 +1,51 @@
+#include "alloc/round_robin.hpp"
+
+#include <stdexcept>
+
+namespace p2pvod::alloc {
+
+Allocation RoundRobinAllocator::allocate(const model::Catalog& catalog,
+                                         const model::CapacityProfile& profile,
+                                         std::uint32_t k,
+                                         util::Rng& /*rng*/) const {
+  if (k == 0) throw std::invalid_argument("RoundRobinAllocator: k == 0");
+  const std::uint32_t n = profile.size();
+  if (k > n) {
+    throw std::invalid_argument(
+        "RoundRobinAllocator: k > n would duplicate a stripe within a box");
+  }
+  const std::uint32_t c = catalog.stripes_per_video();
+  const std::uint64_t replicas =
+      static_cast<std::uint64_t>(k) * catalog.stripe_count();
+  if (replicas > profile.total_storage_slots(c)) {
+    throw std::invalid_argument(
+        "RoundRobinAllocator: k*m*c replicas exceed d*n*c slots");
+  }
+
+  std::vector<std::uint32_t> free_slots(n);
+  for (model::BoxId b = 0; b < n; ++b)
+    free_slots[b] = profile.storage_slots(b, c);
+
+  std::vector<Allocation::Placement> placements;
+  placements.reserve(replicas);
+  std::uint64_t cursor = 0;
+  for (model::StripeId s = 0; s < catalog.stripe_count(); ++s) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      // Advance to the next box with a free slot; total replicas fit, so a
+      // free slot always exists within n probes.
+      std::uint32_t probes = 0;
+      while (free_slots[cursor % n] == 0) {
+        ++cursor;
+        if (++probes > n)
+          throw std::logic_error("RoundRobinAllocator: no free slot found");
+      }
+      const auto box = static_cast<model::BoxId>(cursor % n);
+      --free_slots[box];
+      placements.push_back({box, s});
+      ++cursor;
+    }
+  }
+  return Allocation(n, catalog.stripe_count(), std::move(placements));
+}
+
+}  // namespace p2pvod::alloc

@@ -1,0 +1,22 @@
+// Deterministic round-robin allocation.
+//
+// Replica j of stripe s goes to box (s·k + j) mod n (skipping full boxes).
+// Not an allocation the paper analyzes — it is the deterministic sanity
+// baseline used by tests (no randomness, perfectly predictable holders) and
+// by benches to contrast "structured" vs random placement.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace p2pvod::alloc {
+
+class RoundRobinAllocator final : public Allocator {
+ public:
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k,
+                                    util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+};
+
+}  // namespace p2pvod::alloc

@@ -1,0 +1,207 @@
+#include "analysis/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/catalog.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/distinct.hpp"
+#include "workload/flash_crowd.hpp"
+#include "workload/limiter.hpp"
+
+namespace p2pvod::analysis {
+
+const char* suite_name(WorkloadSuite suite) noexcept {
+  switch (suite) {
+    case WorkloadSuite::kAvoider:
+      return "avoider";
+    case WorkloadSuite::kFlashCrowd:
+      return "flash-crowd";
+    case WorkloadSuite::kDistinct:
+      return "distinct";
+    case WorkloadSuite::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+std::uint32_t TrialSpec::catalog() const {
+  if (m_override != 0) return m_override;
+  const double m = d * static_cast<double>(n) / static_cast<double>(k);
+  return m < 1.0 ? 1u : static_cast<std::uint32_t>(m);
+}
+
+namespace {
+
+bool run_one_workload(const TrialSpec& spec, const model::Catalog& catalog,
+                      const model::CapacityProfile& profile,
+                      const alloc::Allocation& allocation,
+                      WorkloadSuite which, std::uint64_t seed) {
+  const auto strategy = sim::make_strategy(spec.strategy);
+  sim::SimulatorOptions options;
+  options.strict = true;
+  sim::Simulator simulator(catalog, profile, allocation, *strategy, options);
+
+  util::Rng rng(seed);
+  switch (which) {
+    case WorkloadSuite::kAvoider: {
+      workload::AvoiderAdversary inner(rng.child(1).seed());
+      workload::GrowthLimiter limited(inner, spec.mu);
+      return simulator.run(limited, spec.rounds).success;
+    }
+    case WorkloadSuite::kFlashCrowd: {
+      const auto video =
+          static_cast<model::VideoId>(rng.next_below(catalog.video_count()));
+      workload::FlashCrowd inner(video, spec.mu);
+      return simulator.run(inner, spec.rounds).success;
+    }
+    case WorkloadSuite::kDistinct: {
+      workload::DistinctVideosSweep inner(rng.child(2).seed(),
+                                          /*repeat=*/true);
+      workload::GrowthLimiter limited(inner, spec.mu);
+      return simulator.run(limited, spec.rounds).success;
+    }
+    case WorkloadSuite::kFull:
+      break;  // handled by caller
+  }
+  throw std::logic_error("run_one_workload: bad suite");
+}
+
+}  // namespace
+
+bool Calibrator::run_trial(const TrialSpec& spec, std::uint64_t seed) {
+  const std::uint32_t m = spec.catalog();
+  const model::Catalog catalog(m, spec.c, spec.duration);
+  const model::CapacityProfile profile =
+      model::CapacityProfile::homogeneous(spec.n, spec.u, spec.d);
+
+  util::Rng rng(seed);
+  const auto allocator = alloc::make_allocator(spec.scheme);
+  const alloc::Allocation allocation =
+      allocator->allocate(catalog, profile, spec.k, rng);
+
+  if (spec.suite != WorkloadSuite::kFull) {
+    return run_one_workload(spec, catalog, profile, allocation, spec.suite,
+                            rng.child(10).seed());
+  }
+  // Full suite: the same allocation must survive every adversary.
+  for (const WorkloadSuite which :
+       {WorkloadSuite::kAvoider, WorkloadSuite::kFlashCrowd,
+        WorkloadSuite::kDistinct}) {
+    if (!run_one_workload(spec, catalog, profile, allocation, which,
+                          rng.child(10 + static_cast<std::uint64_t>(which))
+                              .seed())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+util::Proportion Calibrator::success_rate(const TrialSpec& spec,
+                                          std::uint32_t trials,
+                                          std::uint64_t base_seed,
+                                          util::ThreadPool* pool) {
+  if (trials == 0) return {};
+  const std::vector<char> outcomes = util::parallel_map<char>(
+      trials,
+      [&](std::size_t trial) -> char {
+        return run_trial(spec, util::child_seed(base_seed, trial)) ? 1 : 0;
+      },
+      pool);
+  const auto successes = static_cast<std::size_t>(
+      std::count(outcomes.begin(), outcomes.end(), 1));
+  return util::wilson_interval(successes, trials);
+}
+
+Calibrator::MinKResult Calibrator::min_feasible_k(TrialSpec spec,
+                                                  std::uint32_t k_lo,
+                                                  std::uint32_t k_hi,
+                                                  double target,
+                                                  std::uint32_t trials,
+                                                  std::uint64_t base_seed,
+                                                  util::ThreadPool* pool) {
+  MinKResult result;
+  if (k_lo == 0 || k_hi < k_lo)
+    throw std::invalid_argument("min_feasible_k: bad k range");
+
+  auto rate_at = [&](std::uint32_t k) {
+    spec.k = k;
+    const double rate = success_rate(spec, trials, base_seed, pool).estimate;
+    result.explored.emplace_back(k, rate);
+    return rate;
+  };
+
+  // Doubling phase to bracket the transition, then binary search.
+  std::uint32_t hi = k_lo;
+  std::uint32_t lo_fail = 0;  // largest known-failing k
+  while (hi <= k_hi && rate_at(hi) < target) {
+    lo_fail = hi;
+    hi = std::min(k_hi, hi * 2);
+    if (hi == lo_fail) break;  // hit the cap while failing
+  }
+  if (hi > k_hi || (hi == lo_fail)) return result;  // never reached target
+
+  std::uint32_t lo = std::max(k_lo, lo_fail + 1);
+  // Invariant: rate(hi) >= target; everything <= lo_fail failed.
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (rate_at(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.k = hi;
+  spec.k = hi;
+  result.catalog = spec.catalog();
+  return result;
+}
+
+Calibrator::MaxCatalogResult Calibrator::max_catalog(TrialSpec spec,
+                                                     double target,
+                                                     std::uint32_t trials,
+                                                     std::uint64_t base_seed,
+                                                     util::ThreadPool* pool) {
+  MaxCatalogResult result;
+  const auto m_max = static_cast<std::uint32_t>(
+      spec.d * static_cast<double>(spec.n));
+  if (m_max == 0) return result;
+
+  auto k_for = [&](std::uint32_t m) {
+    const double k = spec.d * static_cast<double>(spec.n) /
+                     static_cast<double>(m);
+    return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(k));
+  };
+  auto feasible = [&](std::uint32_t m) {
+    spec.k = k_for(m);
+    spec.m_override = m;
+    const double rate = success_rate(spec, trials, base_seed, pool).estimate;
+    result.explored.emplace_back(m, rate);
+    return rate >= target;
+  };
+
+  // Largest m with feasible(m), success treated as decreasing in m.
+  if (!feasible(1)) return result;  // even m=1 fails
+  std::uint32_t lo = 1, hi = m_max;
+  if (!feasible(m_max)) {
+    // Binary search inside (1, m_max).
+    while (lo + 1 < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (feasible(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  } else {
+    lo = m_max;
+  }
+  result.m = lo;
+  result.k = k_for(result.m);
+  return result;
+}
+
+}  // namespace p2pvod::analysis

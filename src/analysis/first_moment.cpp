@@ -1,0 +1,145 @@
+#include "analysis/first_moment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/logmath.hpp"
+
+namespace p2pvod::analysis {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// lgamma dominates the double sum's cost; memoize log k! up to the largest
+// argument seen. Thread-local so parallel sweeps need no locking.
+double cached_log_factorial(std::int64_t n) {
+  thread_local std::vector<double> table{0.0, 0.0};  // 0!, 1!
+  if (n < 0) return kNegInf;
+  const auto idx = static_cast<std::size_t>(n);
+  while (table.size() <= idx) {
+    table.push_back(table.back() +
+                    std::log(static_cast<double>(table.size())));
+  }
+  return table[idx];
+}
+
+double cached_log_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  return cached_log_factorial(n) - cached_log_factorial(k) -
+         cached_log_factorial(n - k);
+}
+}  // namespace
+
+double FirstMoment::log_term(const FirstMomentParams& p, std::uint64_t i,
+                             std::uint64_t i1) {
+  const double nu = Theorem1::nu(p.u, p.mu, p.c);
+  if (static_cast<double>(i1) <= nu * static_cast<double>(i))
+    return kNegInf;  // Lemma 4 case 1: P(σ) = 0
+  const double up = Theorem1::u_prime(p.u, p.c);
+  const double unc = up * static_cast<double>(p.n) * static_cast<double>(p.c);
+  if (unc <= 0.0) return 0.0;  // degenerate; bound is vacuous
+  const double di = static_cast<double>(i);
+  return di * (std::log(unc) + 1.0 - std::log(di)) +
+         static_cast<double>(p.k) * static_cast<double>(i1) *
+             (std::log(di) - std::log(unc));
+}
+
+double FirstMoment::log_multiset_count(const FirstMomentParams& p,
+                                       std::uint64_t i, std::uint64_t i1) {
+  const std::int64_t mc =
+      static_cast<std::int64_t>(p.m) * static_cast<std::int64_t>(p.c);
+  return cached_log_binomial(mc, static_cast<std::int64_t>(i1)) +
+         cached_log_binomial(static_cast<std::int64_t>(i) - 1,
+                             static_cast<std::int64_t>(i1) - 1);
+}
+
+double FirstMoment::log_union_bound(const FirstMomentParams& p) {
+  if (p.n == 0 || p.m == 0 || p.c == 0 || p.k == 0)
+    throw std::invalid_argument("FirstMoment: zero parameter");
+  const std::uint64_t nc =
+      static_cast<std::uint64_t>(p.n) * static_cast<std::uint64_t>(p.c);
+  const std::uint64_t mc =
+      static_cast<std::uint64_t>(p.m) * static_cast<std::uint64_t>(p.c);
+  const double nu = Theorem1::nu(p.u, p.mu, p.c);
+
+  util::LogSumAccumulator acc;
+  for (std::uint64_t i = 1; i <= nc; ++i) {
+    const auto i1_lo = static_cast<std::uint64_t>(std::max<double>(
+        1.0, std::ceil(nu * static_cast<double>(i) + 1e-12)));
+    const std::uint64_t i1_hi = std::min<std::uint64_t>(i, mc);
+    for (std::uint64_t i1 = i1_lo; i1 <= i1_hi; ++i1) {
+      const double lt = log_term(p, i, i1);
+      if (lt == kNegInf) continue;
+      acc.add_log(log_multiset_count(p, i, i1) + lt);
+    }
+  }
+  return acc.log_total();
+}
+
+double FirstMoment::log_phi_bound(const FirstMomentParams& p) {
+  const std::uint64_t nc =
+      static_cast<std::uint64_t>(p.n) * static_cast<std::uint64_t>(p.c);
+  const double nu = Theorem1::nu(p.u, p.mu, p.c);
+  const double up = Theorem1::u_prime(p.u, p.c);
+  const double kappa = Theorem1::kappa(p.u, p.mu, p.c, p.k);
+  const double delta = Theorem1::delta(p.u, p.d, p.c);
+  if (up <= 0.0 || nu <= 0.0) return 0.0;  // vacuous (log of bound >= 1)
+  const double unc = up * static_cast<double>(p.n) * static_cast<double>(p.c);
+
+  util::LogSumAccumulator acc;
+  for (std::uint64_t i = 1; i <= nc; ++i) {
+    const double di = static_cast<double>(i);
+    const double log_phi =
+        kappa * di * (std::log(di) - std::log(unc)) + di * std::log(delta);
+    acc.add_log(di * std::log1p(-nu) + log_phi);
+  }
+  return acc.log_total();
+}
+
+double FirstMoment::probability_bound(const FirstMomentParams& p) {
+  const double lb = log_union_bound(p);
+  if (lb >= 0.0) return 1.0;
+  return util::exp_clamped(lb);
+}
+
+std::uint32_t FirstMoment::min_k_for_bound(FirstMomentParams p, double target,
+                                           std::uint32_t k_lo,
+                                           std::uint32_t k_hi) {
+  if (target <= 0.0 || target > 1.0)
+    throw std::invalid_argument("min_k_for_bound: target out of (0,1]");
+  if (k_lo == 0 || k_hi < k_lo)
+    throw std::invalid_argument("min_k_for_bound: bad k range");
+  const double log_target = std::log(target);
+  auto satisfied = [&](std::uint32_t k) {
+    p.k = k;
+    // Hold the catalog consistent with the replication: m = d n / k.
+    const double m = p.d * static_cast<double>(p.n) / static_cast<double>(k);
+    p.m = m < 1.0 ? 1u : static_cast<std::uint32_t>(m);
+    return log_union_bound(p) <= log_target;
+  };
+  // The bound is monotone decreasing in k (each extra replica multiplies
+  // every term by (i/u'nc)^{i1} < 1 while shrinking the catalog), so a
+  // doubling probe plus binary search suffices.
+  std::uint32_t hi = k_lo;
+  std::uint32_t last_fail = 0;
+  while (!satisfied(hi)) {
+    last_fail = hi;
+    if (hi >= k_hi) return 0;
+    hi = std::min(k_hi, hi * 2);
+  }
+  std::uint32_t lo = std::max(k_lo, last_fail + 1);
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (satisfied(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+}  // namespace p2pvod::analysis

@@ -1,0 +1,61 @@
+// Numeric evaluation of the first-moment (union) bound on obstructions.
+//
+// Equation (1) + Lemma 4 + the M(i,i1) count from the proof of Theorem 1:
+//
+//   P(N_k > 0) <= Σ_{i=1}^{nc} Σ_{i1=⌈νi⌉}^{min(i, mc)}
+//                   M(i,i1) · (u′nce/i)^i · (i/(u′nc))^{k·i1}
+//   with M(i,i1) = C(mc, i1) · C(i−1, i1−1).
+//
+// Everything is evaluated in log space (terms span hundreds of orders of
+// magnitude). Also provided: the coarser closed-form φ(i) bound the paper
+// uses to finish the proof, and the predicted vanishing rate O(1/n^{κ−2}).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/bounds.hpp"
+
+namespace p2pvod::analysis {
+
+struct FirstMomentParams {
+  std::uint32_t n = 0;   ///< boxes
+  std::uint32_t m = 0;   ///< catalog size
+  std::uint32_t c = 1;   ///< stripes per video
+  std::uint32_t k = 1;   ///< replicas per stripe
+  double u = 1.5;        ///< upload capacity
+  double d = 4.0;        ///< storage (only via d′ in the φ bound)
+  double mu = 1.2;       ///< swarm growth bound
+};
+
+class FirstMoment {
+ public:
+  /// log of one Lemma 4 term: i·log(u′nce/i) + k·i1·log(i/(u′nc)).
+  /// Returns -inf when i1 <= ν·i (Lemma 4's zero case).
+  [[nodiscard]] static double log_term(const FirstMomentParams& p,
+                                       std::uint64_t i, std::uint64_t i1);
+
+  /// log M(i, i1) = log C(mc, i1) + log C(i-1, i1-1).
+  [[nodiscard]] static double log_multiset_count(const FirstMomentParams& p,
+                                                 std::uint64_t i,
+                                                 std::uint64_t i1);
+
+  /// log of the full double sum (exact numeric evaluation). O(nc · mc) terms;
+  /// use for n·c up to a few thousand.
+  [[nodiscard]] static double log_union_bound(const FirstMomentParams& p);
+
+  /// The paper's single-sum bound: Σ_i (1−ν)^i φ(i) with
+  /// φ(i) = (i/(u′nc))^{κi} δ^i, κ = νk−2, δ = 4d′e²/u′.
+  [[nodiscard]] static double log_phi_bound(const FirstMomentParams& p);
+
+  /// Convenience: linear-space probability bound min(1, exp(log_union_bound)).
+  [[nodiscard]] static double probability_bound(const FirstMomentParams& p);
+
+  /// Smallest k for which the union bound drops below `target` (<=1), by
+  /// linear scan from k_lo; returns 0 when not reached by k_hi.
+  [[nodiscard]] static std::uint32_t min_k_for_bound(FirstMomentParams p,
+                                                     double target,
+                                                     std::uint32_t k_lo,
+                                                     std::uint32_t k_hi);
+};
+
+}  // namespace p2pvod::analysis

@@ -1,0 +1,64 @@
+#include "analysis/impossibility.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace p2pvod::analysis {
+
+std::uint32_t ImpossibilityAnalyzer::catalog_upper_bound(
+    const model::CapacityProfile& profile, std::uint32_t c) {
+  return static_cast<std::uint32_t>(
+      std::floor(profile.max_storage() * static_cast<double>(c) + 1e-9));
+}
+
+ImpossibilityCertificate ImpossibilityAnalyzer::analyze(
+    const model::CapacityProfile& profile, const model::Catalog& catalog) {
+  ImpossibilityCertificate cert;
+  const auto n = static_cast<double>(profile.size());
+  cert.average_upload = profile.average_upload();
+  cert.aggregate_upload = cert.average_upload * n;
+  cert.aggregate_demand = n;
+  cert.catalog_limit =
+      catalog_upper_bound(profile, catalog.stripes_per_video());
+  cert.catalog_size = catalog.video_count();
+  cert.applies =
+      cert.average_upload < 1.0 && cert.catalog_size > cert.catalog_limit;
+
+  std::ostringstream out;
+  if (cert.applies) {
+    out << "u=" << cert.average_upload << " < 1 and m=" << cert.catalog_size
+        << " > d_max/l=" << cert.catalog_limit
+        << ": every box can avoid its local data; aggregate demand "
+        << cert.aggregate_demand << " exceeds aggregate upload "
+        << cert.aggregate_upload << " -> some request must stall.";
+  } else if (cert.average_upload >= 1.0) {
+    out << "u=" << cert.average_upload
+        << " >= 1: the Section 1.3 argument does not apply.";
+  } else {
+    out << "m=" << cert.catalog_size << " <= d_max/l=" << cert.catalog_limit
+        << ": catalog is in the constant regime; every box can hold data of "
+           "every video.";
+  }
+  cert.explanation = out.str();
+  return cert;
+}
+
+std::optional<std::vector<model::VideoId>>
+ImpossibilityAnalyzer::construct_avoider_demands(
+    const model::Catalog& catalog, const alloc::Allocation& allocation) {
+  std::vector<model::VideoId> demands(allocation.box_count());
+  for (model::BoxId b = 0; b < allocation.box_count(); ++b) {
+    bool found = false;
+    for (model::VideoId v = 0; v < catalog.video_count(); ++v) {
+      if (!allocation.box_has_video_data(b, catalog, v)) {
+        demands[b] = v;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return demands;
+}
+
+}  // namespace p2pvod::analysis

@@ -1,0 +1,51 @@
+// The u < 1 impossibility argument (§1.3), made executable.
+//
+// "Suppose u < 1. As minimal chunk size is ℓ, each box b stores data of at
+// most d_b/ℓ videos. If m > d_max/ℓ then for each box there always exists a
+// video it possesses no data of. Consider a sequence of requests where each
+// box always plays such a video: aggregated download n exceeds aggregated
+// upload u·n. As a consequence m <= d_max/ℓ."
+//
+// analyze() evaluates the hypotheses and produces the certificate (bandwidth
+// ledger); construct_avoider_demands() materializes the defeating assignment,
+// which tests feed through the simulator/flow to confirm the stall.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "model/capacity.hpp"
+#include "model/catalog.hpp"
+
+namespace p2pvod::analysis {
+
+struct ImpossibilityCertificate {
+  bool applies = false;        ///< u < 1 and m > d_max/ℓ: system MUST fail
+  double average_upload = 0.0;
+  double aggregate_upload = 0.0;   ///< u·n
+  double aggregate_demand = 0.0;   ///< n (one stream per box)
+  std::uint32_t catalog_limit = 0; ///< ⌊d_max/ℓ⌋ = ⌊d_max·c⌋
+  std::uint32_t catalog_size = 0;
+  std::string explanation;
+};
+
+class ImpossibilityAnalyzer {
+ public:
+  [[nodiscard]] static ImpossibilityCertificate analyze(
+      const model::CapacityProfile& profile, const model::Catalog& catalog);
+
+  /// The defeating demand assignment: for every box, a video it stores no
+  /// data of. Returns nullopt if some box possesses data of every video
+  /// (the argument's hypothesis fails for this allocation).
+  [[nodiscard]] static std::optional<std::vector<model::VideoId>>
+  construct_avoider_demands(const model::Catalog& catalog,
+                            const alloc::Allocation& allocation);
+
+  /// Largest catalog any u<1 system can sustain: ⌊d_max·c⌋ (the §1.3 bound).
+  [[nodiscard]] static std::uint32_t catalog_upper_bound(
+      const model::CapacityProfile& profile, std::uint32_t c);
+};
+
+}  // namespace p2pvod::analysis

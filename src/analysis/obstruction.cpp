@@ -1,0 +1,123 @@
+#include "analysis/obstruction.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "flow/bipartite.hpp"
+
+namespace p2pvod::analysis {
+
+std::optional<ObstructionWitness> ObstructionSearch::probe_burst(
+    const model::Catalog& catalog, const model::CapacityProfile& profile,
+    const alloc::Allocation& allocation,
+    const std::vector<model::VideoId>& demands) {
+  const std::uint32_t c = catalog.stripes_per_video();
+  flow::ConnectionProblem problem(profile.size());
+  for (model::BoxId b = 0; b < profile.size(); ++b)
+    problem.set_capacity(b, profile.upload_slots(b, c));
+
+  std::vector<std::uint32_t> candidates;
+  for (model::BoxId b = 0; b < demands.size(); ++b) {
+    const model::VideoId v = demands[b];
+    if (v == model::kInvalidVideo) continue;
+    for (std::uint32_t i = 0; i < c; ++i) {
+      const model::StripeId s = catalog.stripe_id(v, i);
+      if (allocation.box_has(b, s)) continue;  // served locally
+      candidates.clear();
+      for (const model::BoxId holder : allocation.holders(s)) {
+        if (holder != b) candidates.push_back(holder);
+      }
+      problem.add_request(candidates);
+    }
+  }
+  if (problem.request_count() == 0) return std::nullopt;
+
+  const flow::MatchResult result = problem.solve();
+  if (result.complete) return std::nullopt;
+
+  ObstructionWitness witness;
+  witness.demands = demands;
+  witness.unserved_requests = problem.request_count() - result.served;
+  if (const auto hall = problem.infeasibility_witness())
+    witness.hall_set_size = static_cast<std::uint32_t>(hall->size());
+  return witness;
+}
+
+std::optional<ObstructionWitness> ObstructionSearch::exhaustive(
+    const model::Catalog& catalog, const model::CapacityProfile& profile,
+    const alloc::Allocation& allocation, std::uint64_t budget) {
+  const std::uint32_t n = profile.size();
+  const std::uint32_t m = catalog.video_count();
+  const double combos =
+      std::pow(static_cast<double>(m) + 1.0, static_cast<double>(n));
+  if (combos > static_cast<double>(budget)) {
+    throw std::invalid_argument(
+        "ObstructionSearch::exhaustive: (m+1)^n exceeds budget");
+  }
+
+  std::vector<model::VideoId> demands(n, model::kInvalidVideo);
+  const auto total = static_cast<std::uint64_t>(combos);
+  for (std::uint64_t code = 1; code < total; ++code) {
+    std::uint64_t rest = code;
+    for (model::BoxId b = 0; b < n; ++b) {
+      const auto digit = static_cast<std::uint32_t>(rest % (m + 1));
+      demands[b] = digit == 0 ? model::kInvalidVideo
+                              : static_cast<model::VideoId>(digit - 1);
+      rest /= (m + 1);
+    }
+    if (auto witness = probe_burst(catalog, profile, allocation, demands))
+      return witness;
+  }
+  return std::nullopt;
+}
+
+std::vector<model::VideoId> ObstructionSearch::avoider_assignment(
+    const model::Catalog& catalog, const alloc::Allocation& allocation,
+    util::Rng& rng) {
+  const std::uint32_t n = allocation.box_count();
+  const std::uint32_t m = catalog.video_count();
+  std::vector<model::VideoId> demands(n, model::kInvalidVideo);
+  std::vector<model::VideoId> missing;
+  for (model::BoxId b = 0; b < n; ++b) {
+    missing.clear();
+    for (model::VideoId v = 0; v < m; ++v) {
+      if (!allocation.box_has_video_data(b, catalog, v)) missing.push_back(v);
+    }
+    if (!missing.empty())
+      demands[b] = missing[rng.next_below(missing.size())];
+  }
+  return demands;
+}
+
+ObstructionSearch::MonteCarloResult ObstructionSearch::monte_carlo(
+    const model::Catalog& catalog, const model::CapacityProfile& profile,
+    const alloc::Allocation& allocation, std::uint64_t trials,
+    util::Rng& rng) {
+  MonteCarloResult result;
+  const std::uint32_t n = profile.size();
+  const std::uint32_t m = catalog.video_count();
+
+  // Deterministic first probe: the avoider assignment (§1.3's adversary).
+  {
+    const auto demands = avoider_assignment(catalog, allocation, rng);
+    ++result.trials;
+    if (auto witness = probe_burst(catalog, profile, allocation, demands)) {
+      ++result.infeasible;
+      result.witness = std::move(witness);
+    }
+  }
+
+  std::vector<model::VideoId> demands(n);
+  for (std::uint64_t trial = 1; trial < trials; ++trial) {
+    for (model::BoxId b = 0; b < n; ++b)
+      demands[b] = static_cast<model::VideoId>(rng.next_below(m));
+    ++result.trials;
+    if (auto witness = probe_burst(catalog, profile, allocation, demands)) {
+      ++result.infeasible;
+      if (!result.witness) result.witness = std::move(witness);
+    }
+  }
+  return result;
+}
+
+}  // namespace p2pvod::analysis

@@ -1,0 +1,76 @@
+// Obstruction search: does an allocation admit a defeating request set?
+//
+// An obstruction (§2.3) is a multiset of stripes that some reachable demand
+// configuration turns into a Hall-violating request set. Deciding existence
+// over *all* demand sequences is intractable; this module provides the two
+// practically useful probes the experiments need:
+//
+//  * exhaustive cold-start search (tiny systems): enumerate every assignment
+//    of demands boxes -> {idle} ∪ videos, issue all stripe requests at once
+//    (the naive strategy's round-0 burst — the hardest single round, since no
+//    playback cache exists yet), and test Lemma 1 feasibility by max-flow.
+//    Exact for the cold-start class of sequences.
+//
+//  * Monte-Carlo probe (larger systems): sample demand assignments (including
+//    the §1.3 avoider assignment) and report the fraction found infeasible.
+//
+// The measured obstruction frequency *lower-bounds* the true P(N_k > 0) —
+// obstructions reachable only via staged sequences are not probed — while the
+// analysis/first_moment bound upper-bounds it; experiment E10 plots both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "model/capacity.hpp"
+#include "model/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace p2pvod::analysis {
+
+struct ObstructionWitness {
+  /// demand[b] = video demanded by box b, or kInvalidVideo for idle.
+  std::vector<model::VideoId> demands;
+  std::uint32_t unserved_requests = 0;
+  std::uint32_t hall_set_size = 0;  ///< |X| of the min-cut witness
+};
+
+class ObstructionSearch {
+ public:
+  /// Is the one-round burst (every box in `demands` requests all non-local
+  /// stripes of its video simultaneously) matchable? Returns the witness on
+  /// infeasibility.
+  [[nodiscard]] static std::optional<ObstructionWitness> probe_burst(
+      const model::Catalog& catalog, const model::CapacityProfile& profile,
+      const alloc::Allocation& allocation,
+      const std::vector<model::VideoId>& demands);
+
+  /// Exhaustive cold-start search over all (m+1)^n demand assignments.
+  /// Throws std::invalid_argument when (m+1)^n exceeds `budget`.
+  [[nodiscard]] static std::optional<ObstructionWitness> exhaustive(
+      const model::Catalog& catalog, const model::CapacityProfile& profile,
+      const alloc::Allocation& allocation, std::uint64_t budget = 2'000'000);
+
+  /// Monte-Carlo: sample `trials` random full-demand assignments (every box
+  /// demands a uniform video) plus the avoider assignment; returns the number
+  /// of infeasible samples and the first witness found.
+  struct MonteCarloResult {
+    std::uint64_t trials = 0;
+    std::uint64_t infeasible = 0;
+    std::optional<ObstructionWitness> witness;
+  };
+  [[nodiscard]] static MonteCarloResult monte_carlo(
+      const model::Catalog& catalog, const model::CapacityProfile& profile,
+      const alloc::Allocation& allocation, std::uint64_t trials,
+      util::Rng& rng);
+
+  /// The §1.3 avoider assignment: every box demands some video it stores no
+  /// data of (kInvalidVideo when none exists for a box).
+  [[nodiscard]] static std::vector<model::VideoId> avoider_assignment(
+      const model::Catalog& catalog, const alloc::Allocation& allocation,
+      util::Rng& rng);
+};
+
+}  // namespace p2pvod::analysis

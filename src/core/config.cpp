@@ -1,0 +1,30 @@
+#include "core/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pvod::core {
+
+void SystemConfig::validate() const {
+  auto fail = [](const std::string& message) {
+    throw std::invalid_argument("SystemConfig: " + message);
+  };
+  if (n == 0) fail("n must be positive");
+  if (u < 0.0) fail("u must be non-negative");
+  if (d <= 0.0) fail("d must be positive");
+  if (mu < 1.0) fail("mu must be at least 1");
+  if (duration <= 0) fail("duration must be positive");
+}
+
+std::string SystemConfig::describe() const {
+  std::ostringstream out;
+  out << "config n=" << n << " u=" << u << " d=" << d << " mu=" << mu
+      << " T=" << duration;
+  if (c != 0) out << " c=" << c;
+  if (k != 0) out << " k=" << k;
+  if (m != 0) out << " m=" << m;
+  out << " scheme=" << alloc::scheme_name(scheme) << " seed=" << seed;
+  return out.str();
+}
+
+}  // namespace p2pvod::core

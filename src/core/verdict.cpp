@@ -1,0 +1,55 @@
+#include "core/verdict.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace p2pvod::core {
+
+const char* regime_name(Regime regime) noexcept {
+  switch (regime) {
+    case Regime::kBelowThreshold:
+      return "below-threshold";
+    case Regime::kAtThreshold:
+      return "at-threshold";
+    case Regime::kScalable:
+      return "scalable";
+    case Regime::kDeficitBound:
+      return "deficit-bound";
+  }
+  return "unknown";
+}
+
+ScalabilityVerdict Verdict::classify(const model::CapacityProfile& profile,
+                                     std::uint32_t c, double tolerance) {
+  ScalabilityVerdict verdict;
+  verdict.u = profile.average_upload();
+  verdict.deficit_per_box =
+      profile.upload_deficit(1.0) / static_cast<double>(profile.size());
+
+  std::ostringstream out;
+  if (verdict.u < 1.0 - tolerance) {
+    verdict.regime = Regime::kBelowThreshold;
+    verdict.constant_catalog_limit = static_cast<std::uint32_t>(
+        std::floor(profile.max_storage() * static_cast<double>(c) + 1e-9));
+    out << "u=" << verdict.u << " < 1: catalog cannot exceed d_max*c="
+        << verdict.constant_catalog_limit << " (Section 1.3).";
+  } else if (std::abs(verdict.u - 1.0) <= tolerance) {
+    verdict.regime = Regime::kAtThreshold;
+    out << "u=1: exactly at the threshold; neither bound applies.";
+  } else if (!profile.is_homogeneous() &&
+             verdict.u <= 1.0 + verdict.deficit_per_box + tolerance) {
+    verdict.regime = Regime::kDeficitBound;
+    out << "heterogeneous with u=" << verdict.u
+        << " <= 1 + Delta(1)/n=" << 1.0 + verdict.deficit_per_box
+        << ": upload compensation cannot cover the deficit (Section 4).";
+  } else {
+    verdict.regime = Regime::kScalable;
+    out << "u=" << verdict.u
+        << " > 1: linear catalog achievable (Theorem "
+        << (profile.is_homogeneous() ? "1" : "2") << ").";
+  }
+  verdict.message = out.str();
+  return verdict;
+}
+
+}  // namespace p2pvod::core

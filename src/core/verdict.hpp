@@ -1,0 +1,42 @@
+// ScalabilityVerdict: where does a configuration sit w.r.t. the threshold?
+//
+// The paper's dichotomy (abstract, §1.3, Theorems 1-2):
+//   u < 1                      -> catalog stuck at O(1) (m <= d_max·c)
+//   u > 1 (homogeneous)        -> m = Ω(n) achievable (Theorem 1)
+//   heterogeneous              -> needs u > 1 + Δ(1)/n, and a u*-balanced
+//                                 system with u* > 1 scales (Theorem 2)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/capacity.hpp"
+
+namespace p2pvod::core {
+
+enum class Regime {
+  kBelowThreshold,    ///< u < 1: constant catalog only
+  kAtThreshold,       ///< u == 1 (within tolerance): boundary, no guarantee
+  kScalable,          ///< u > 1 homogeneous (or balanced heterogeneous)
+  kDeficitBound,      ///< heterogeneous with u <= 1 + Δ(1)/n: not compensable
+};
+
+[[nodiscard]] const char* regime_name(Regime regime) noexcept;
+
+struct ScalabilityVerdict {
+  Regime regime = Regime::kAtThreshold;
+  double u = 1.0;               ///< average upload
+  double deficit_per_box = 0.0; ///< Δ(1)/n
+  std::uint32_t constant_catalog_limit = 0;  ///< ⌊d_max·c⌋ when below threshold
+  std::string message;
+};
+
+class Verdict {
+ public:
+  /// Classify with the given stripe count (for the constant-catalog limit).
+  [[nodiscard]] static ScalabilityVerdict classify(
+      const model::CapacityProfile& profile, std::uint32_t c,
+      double tolerance = 1e-9);
+};
+
+}  // namespace p2pvod::core

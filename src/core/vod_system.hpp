@@ -1,0 +1,79 @@
+// VodSystem: the library's front door.
+//
+// Owns a complete system instance — catalog, capacity profile, static
+// allocation, request strategy — and spins up fresh simulators to run demand
+// workloads against it. Homogeneous systems derive (c, k, m) from Theorem 1
+// unless overridden; heterogeneous systems take a capacity profile and a
+// threshold u*, derive (c, k, m) from Theorem 2, and wire the §4 relay
+// machinery (compensation plan + relay strategy + reduced matching
+// capacities) automatically.
+//
+// Typical use (see examples/quickstart.cpp):
+//   auto system = core::VodSystem::build(config);
+//   workload::ZipfDemand zipf(system.catalog().video_count(), 0.8, 0.05, 7);
+//   auto report = system.run(zipf, /*rounds=*/200);
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "alloc/allocation.hpp"
+#include "core/config.hpp"
+#include "hetero/compensation.hpp"
+#include "model/capacity.hpp"
+#include "model/catalog.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "sim/strategy.hpp"
+
+namespace p2pvod::core {
+
+class VodSystem {
+ public:
+  /// Build a homogeneous system from the config (Theorem 1 fills c, k, m).
+  [[nodiscard]] static VodSystem build(const SystemConfig& config);
+
+  /// Build a heterogeneous system: Theorem 2 fills c and k from (u*, d, µ);
+  /// the §4 compensation plan and relay strategy are installed. Throws
+  /// std::invalid_argument when the profile cannot be u*-compensated.
+  [[nodiscard]] static VodSystem build_heterogeneous(
+      const SystemConfig& config, model::CapacityProfile profile,
+      double u_star);
+
+  /// Run a workload for `rounds` rounds on a fresh simulator.
+  [[nodiscard]] sim::RunReport run(workload::DemandGenerator& generator,
+                                   model::Round rounds) const;
+
+  /// A fresh simulator for step-level control (kept alive by the caller; the
+  /// VodSystem must outlive it).
+  [[nodiscard]] std::unique_ptr<sim::Simulator> make_simulator() const;
+
+  // --- accessors ---
+  [[nodiscard]] const model::Catalog& catalog() const { return *catalog_; }
+  [[nodiscard]] const model::CapacityProfile& profile() const {
+    return profile_;
+  }
+  [[nodiscard]] const alloc::Allocation& allocation() const {
+    return *allocation_;
+  }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] const std::optional<hetero::CompensationPlan>& compensation()
+      const {
+    return compensation_;
+  }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  VodSystem(SystemConfig config, model::CapacityProfile profile);
+
+  SystemConfig config_;
+  model::CapacityProfile profile_;
+  std::unique_ptr<model::Catalog> catalog_;
+  std::unique_ptr<alloc::Allocation> allocation_;
+  std::unique_ptr<sim::RequestStrategy> strategy_;
+  std::optional<hetero::CompensationPlan> compensation_;
+  sim::SimulatorOptions simulator_options_;
+};
+
+}  // namespace p2pvod::core

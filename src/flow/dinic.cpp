@@ -1,0 +1,79 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace p2pvod::flow {
+
+bool Dinic::build_levels(NodeId source, NodeId sink) {
+  level_.assign(network_.node_count(), -1);
+  std::deque<NodeId> queue;
+  level_[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const EdgeId e : network_.adjacency(v)) {
+      const NodeId w = network_.to_[e];
+      if (network_.cap_[e] > 0 && level_[w] < 0) {
+        level_[w] = level_[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+Capacity Dinic::augment(NodeId v, NodeId sink, Capacity limit) {
+  if (v == sink || limit == 0) return limit;
+  Capacity pushed = 0;
+  auto& arc = next_arc_[v];
+  const auto& edges = network_.adjacency_[v];
+  while (arc < edges.size()) {
+    const EdgeId e = edges[arc];
+    const NodeId w = network_.to_[e];
+    if (network_.cap_[e] > 0 && level_[w] == level_[v] + 1) {
+      const Capacity amount =
+          augment(w, sink, std::min(limit - pushed, network_.cap_[e]));
+      if (amount > 0) {
+        network_.push(e, amount);
+        pushed += amount;
+        if (pushed == limit) return pushed;
+        continue;  // same arc may still have residual capacity
+      }
+    }
+    ++arc;
+  }
+  level_[v] = -1;  // dead end; prune for this phase
+  return pushed;
+}
+
+Capacity Dinic::max_flow(NodeId source, NodeId sink) {
+  Capacity total = 0;
+  while (build_levels(source, sink)) {
+    next_arc_.assign(network_.node_count(), 0);
+    total += augment(source, sink, kInfCapacity);
+  }
+  return total;
+}
+
+std::vector<bool> Dinic::min_cut_source_side(NodeId source) const {
+  std::vector<bool> reachable(network_.node_count(), false);
+  std::deque<NodeId> queue;
+  reachable[source] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const EdgeId e : network_.adjacency(v)) {
+      const NodeId w = network_.to_[e];
+      if (network_.cap_[e] > 0 && !reachable[w]) {
+        reachable[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace p2pvod::flow

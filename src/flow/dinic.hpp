@@ -1,0 +1,36 @@
+// Dinic's maximum-flow algorithm.
+//
+// On the bipartite unit-request networks produced by the connection-matching
+// reduction (§2.2 of the paper) Dinic runs in O(E sqrt(V)) — it degenerates
+// exactly into Hopcroft–Karp — so one solver covers both the homogeneous and
+// the weighted heterogeneous case (box capacities ⌊u_b c⌋ > 1).
+#pragma once
+
+#include <vector>
+
+#include "flow/graph.hpp"
+
+namespace p2pvod::flow {
+
+class Dinic {
+ public:
+  explicit Dinic(FlowNetwork& network) : network_(network) {}
+
+  /// Compute the maximum flow from `source` to `sink`. The network keeps the
+  /// final flow (inspect via FlowNetwork::flow_on); call reset_flow() to reuse.
+  Capacity max_flow(NodeId source, NodeId sink);
+
+  /// Nodes reachable from `source` in the residual graph after max_flow();
+  /// the source side of a minimum cut (used to extract Hall-violating sets).
+  [[nodiscard]] std::vector<bool> min_cut_source_side(NodeId source) const;
+
+ private:
+  bool build_levels(NodeId source, NodeId sink);
+  Capacity augment(NodeId v, NodeId sink, Capacity limit);
+
+  FlowNetwork& network_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::uint32_t> next_arc_;
+};
+
+}  // namespace p2pvod::flow

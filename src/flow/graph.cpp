@@ -1,0 +1,44 @@
+#include "flow/graph.hpp"
+
+#include <stdexcept>
+
+namespace p2pvod::flow {
+
+FlowNetwork::FlowNetwork(NodeId nodes) : adjacency_(nodes) {}
+
+NodeId FlowNetwork::add_nodes(NodeId count) {
+  const auto first = static_cast<NodeId>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + count);
+  return first;
+}
+
+EdgeId FlowNetwork::add_edge(NodeId from, NodeId to, Capacity capacity) {
+  if (from >= node_count() || to >= node_count())
+    throw std::out_of_range("FlowNetwork::add_edge: node out of range");
+  if (capacity < 0)
+    throw std::invalid_argument("FlowNetwork::add_edge: negative capacity");
+  const auto id = static_cast<EdgeId>(to_.size());
+  to_.push_back(to);
+  cap_.push_back(capacity);
+  original_.push_back(capacity);
+  adjacency_[from].push_back(id);
+  to_.push_back(from);
+  cap_.push_back(0);
+  original_.push_back(0);
+  adjacency_[to].push_back(id + 1);
+  return id;
+}
+
+Capacity FlowNetwork::flow_on(EdgeId e) const {
+  // Forward edges are even; the flow equals capacity moved to the reverse.
+  return cap_[e ^ 1u] - original_[e ^ 1u];
+}
+
+void FlowNetwork::reset_flow() { cap_ = original_; }
+
+void FlowNetwork::push(EdgeId e, Capacity amount) {
+  cap_[e] -= amount;
+  cap_[e ^ 1u] += amount;
+}
+
+}  // namespace p2pvod::flow

@@ -1,0 +1,62 @@
+// Residual flow network used by the Dinic max-flow solver.
+//
+// Compact adjacency-list representation with paired forward/backward edges
+// (edge i's reverse is i^1), the standard layout for augmenting-path solvers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace p2pvod::flow {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Capacity = std::int64_t;
+
+inline constexpr Capacity kInfCapacity =
+    std::numeric_limits<Capacity>::max() / 4;
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(NodeId nodes = 0);
+
+  /// Append `count` nodes; returns the id of the first one.
+  NodeId add_nodes(NodeId count);
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+
+  /// Add a directed edge with the given capacity (and its zero-capacity
+  /// reverse). Returns the forward edge id.
+  EdgeId add_edge(NodeId from, NodeId to, Capacity capacity);
+
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return to_.size() / 2;
+  }
+
+  /// Flow currently on forward edge `e` (== capacity consumed).
+  [[nodiscard]] Capacity flow_on(EdgeId e) const;
+  /// Residual capacity of (forward or reverse) edge `e`.
+  [[nodiscard]] Capacity residual(EdgeId e) const { return cap_[e]; }
+  [[nodiscard]] NodeId edge_to(EdgeId e) const { return to_[e]; }
+
+  /// Reset all flow to zero (capacities preserved).
+  void reset_flow();
+
+  // --- internals shared with the solver ---
+  [[nodiscard]] const std::vector<EdgeId>& adjacency(NodeId v) const {
+    return adjacency_[v];
+  }
+  void push(EdgeId e, Capacity amount);
+
+ private:
+  friend class Dinic;
+
+  std::vector<std::vector<EdgeId>> adjacency_;
+  std::vector<NodeId> to_;
+  std::vector<Capacity> cap_;        // residual capacities
+  std::vector<Capacity> original_;   // original capacities (forward edges)
+};
+
+}  // namespace p2pvod::flow

@@ -1,0 +1,47 @@
+#include "flow/hall.hpp"
+
+#include <stdexcept>
+
+namespace p2pvod::flow {
+
+std::optional<HallViolation> HallChecker::check_subset(
+    const ConnectionProblem& problem,
+    const std::vector<std::uint32_t>& subset) {
+  std::vector<bool> in_bx(problem.box_count(), false);
+  std::uint64_t capacity = 0;
+  for (const std::uint32_t r : subset) {
+    for (const std::uint32_t b : problem.candidates(r)) {
+      if (!in_bx[b]) {
+        in_bx[b] = true;
+        capacity += problem.capacity(b);
+      }
+    }
+  }
+  if (capacity >= subset.size()) return std::nullopt;
+  return HallViolation{subset, subset.size(), capacity};
+}
+
+std::optional<HallViolation> HallChecker::find_violation(
+    const ConnectionProblem& problem) {
+  const std::uint32_t requests = problem.request_count();
+  if (requests > kMaxRequests) {
+    throw std::invalid_argument(
+        "HallChecker: instance too large for exhaustive enumeration");
+  }
+  const std::uint64_t limit = 1ULL << requests;
+  std::vector<std::uint32_t> subset;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    subset.clear();
+    for (std::uint32_t r = 0; r < requests; ++r) {
+      if (mask & (1ULL << r)) subset.push_back(r);
+    }
+    if (auto violation = check_subset(problem, subset)) return violation;
+  }
+  return std::nullopt;
+}
+
+bool HallChecker::feasible(const ConnectionProblem& problem) {
+  return !find_violation(problem).has_value();
+}
+
+}  // namespace p2pvod::flow

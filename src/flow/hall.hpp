@@ -1,0 +1,45 @@
+// Brute-force verifier of the min-cut/max-flow characterization (Lemma 1).
+//
+// For small instances, enumerate every subset X of requests and check the
+// deficiency form of Hall's condition with box capacities:
+//     Σ_{b ∈ B(X)} cap_b  >=  |X|        (capacities in stripe slots)
+// The flow solvers are cross-checked against this in the property tests —
+// Lemma 1 states that a complete connection matching exists iff no subset
+// violates the inequality.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flow/bipartite.hpp"
+
+namespace p2pvod::flow {
+
+struct HallViolation {
+  std::vector<std::uint32_t> requests;  ///< the violating X
+  std::uint64_t demand = 0;             ///< |X|
+  std::uint64_t capacity = 0;           ///< Σ_{b∈B(X)} cap_b
+};
+
+class HallChecker {
+ public:
+  /// Maximum request count accepted by the exhaustive checker (2^r subsets).
+  static constexpr std::uint32_t kMaxRequests = 24;
+
+  /// Returns a violating subset, or nullopt when the Hall condition holds for
+  /// every subset (which by Lemma 1 is equivalent to matchability).
+  /// Throws std::invalid_argument when the problem has too many requests.
+  [[nodiscard]] static std::optional<HallViolation> find_violation(
+      const ConnectionProblem& problem);
+
+  /// Convenience: true iff no violation exists.
+  [[nodiscard]] static bool feasible(const ConnectionProblem& problem);
+
+  /// Check one specific subset of requests.
+  [[nodiscard]] static std::optional<HallViolation> check_subset(
+      const ConnectionProblem& problem,
+      const std::vector<std::uint32_t>& subset);
+};
+
+}  // namespace p2pvod::flow

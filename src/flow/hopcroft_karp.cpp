@@ -1,0 +1,85 @@
+#include "flow/hopcroft_karp.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace p2pvod::flow {
+
+HopcroftKarp::HopcroftKarp(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    std::vector<std::uint32_t> capacities)
+    : adjacency_(adjacency),
+      capacity_(std::move(capacities)),
+      degree_(capacity_.size(), 0),
+      match_left_(adjacency.size(), -1),
+      box_matches_(capacity_.size()) {}
+
+bool HopcroftKarp::bfs_layers() {
+  layer_.assign(adjacency_.size(), kInfLayer);
+  box_layer_.assign(capacity_.size(), kInfLayer);
+  std::deque<std::uint32_t> queue;  // holds request ids
+  for (std::uint32_t r = 0; r < adjacency_.size(); ++r) {
+    if (match_left_[r] < 0) {
+      layer_[r] = 0;
+      queue.push_back(r);
+    }
+  }
+  bool found_free_box = false;
+  while (!queue.empty()) {
+    const std::uint32_t r = queue.front();
+    queue.pop_front();
+    for (const std::uint32_t b : adjacency_[r]) {
+      if (box_layer_[b] != kInfLayer) continue;
+      box_layer_[b] = layer_[r] + 1;
+      if (degree_[b] < capacity_[b]) {
+        found_free_box = true;  // augmenting path ends here
+        continue;
+      }
+      // Saturated box: traverse its matched requests backwards.
+      for (const std::uint32_t matched : box_matches_[b]) {
+        if (layer_[matched] == kInfLayer) {
+          layer_[matched] = box_layer_[b] + 1;
+          queue.push_back(matched);
+        }
+      }
+    }
+  }
+  return found_free_box;
+}
+
+bool HopcroftKarp::dfs_augment(std::uint32_t request) {
+  for (const std::uint32_t b : adjacency_[request]) {
+    if (box_layer_[b] != layer_[request] + 1) continue;
+    const std::uint32_t next_layer = box_layer_[b] + 1;
+    box_layer_[b] = kInfLayer;  // visit each box once per phase
+    if (degree_[b] < capacity_[b]) {
+      match_left_[request] = static_cast<std::int32_t>(b);
+      box_matches_[b].push_back(request);
+      ++degree_[b];
+      return true;
+    }
+    for (auto& matched : box_matches_[b]) {
+      if (layer_[matched] != next_layer) continue;  // not on a shortest path
+      if (dfs_augment(matched)) {
+        // `matched` moved elsewhere; reuse its slot on b for `request`.
+        matched = request;
+        match_left_[request] = static_cast<std::int32_t>(b);
+        return true;
+      }
+    }
+  }
+  layer_[request] = kInfLayer;
+  return false;
+}
+
+std::uint32_t HopcroftKarp::solve() {
+  std::uint32_t matched = 0;
+  while (bfs_layers()) {
+    for (std::uint32_t r = 0; r < adjacency_.size(); ++r) {
+      if (match_left_[r] < 0 && dfs_augment(r)) ++matched;
+    }
+  }
+  return matched;
+}
+
+}  // namespace p2pvod::flow

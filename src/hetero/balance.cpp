@@ -1,0 +1,75 @@
+#include "hetero/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pvod::hetero {
+
+std::string BalanceReport::describe() const {
+  std::ostringstream out;
+  out << "storage-balance(u*=" << u_star << "): "
+      << (storage_balanced ? "balanced" : "unbalanced")
+      << " ratio[min,max]=[" << min_ratio << "," << max_ratio << "]"
+      << " below=" << below_lower.size() << " above=" << above_upper.size();
+  return out.str();
+}
+
+BalanceReport BalanceChecker::check(const model::CapacityProfile& profile,
+                                    double u_star) {
+  BalanceReport report;
+  report.u_star = u_star;
+  const double upper = profile.average_storage() / u_star;
+  report.min_ratio = std::numeric_limits<double>::infinity();
+  report.max_ratio = 0.0;
+  for (model::BoxId b = 0; b < profile.size(); ++b) {
+    const double ub = profile.upload(b);
+    const double db = profile.storage(b);
+    if (ub == 0.0) {
+      // A zero-upload box is balanced only when it also stores nothing
+      // (otherwise its storage can never be served at the balanced rate).
+      if (db > 0.0) report.above_upper.push_back(b);
+      continue;
+    }
+    const double ratio = db / ub;
+    report.min_ratio = std::min(report.min_ratio, ratio);
+    report.max_ratio = std::max(report.max_ratio, ratio);
+    if (ratio < 2.0) report.below_lower.push_back(b);
+    if (ratio > upper + 1e-12) report.above_upper.push_back(b);
+  }
+  report.storage_balanced =
+      report.below_lower.empty() && report.above_upper.empty();
+  return report;
+}
+
+model::CapacityProfile BalanceChecker::truncate_storage(
+    const model::CapacityProfile& profile) {
+  double tau = std::numeric_limits<double>::infinity();
+  for (model::BoxId b = 0; b < profile.size(); ++b) {
+    const double ub = profile.upload(b);
+    const double db = profile.storage(b);
+    if (ub == 0.0) {
+      if (db > 0.0)
+        throw std::invalid_argument(
+            "truncate_storage: zero-upload box with storage cannot be "
+            "balanced");
+      continue;
+    }
+    tau = std::min(tau, db / ub);
+  }
+  if (!std::isfinite(tau))
+    throw std::invalid_argument("truncate_storage: no box with upload");
+  return profile.with_storage_ratio(tau);
+}
+
+std::uint64_t BalanceChecker::sub_box_count(
+    const model::CapacityProfile& profile, std::uint32_t c) {
+  std::uint64_t total = 0;
+  for (model::BoxId b = 0; b < profile.size(); ++b)
+    total += profile.upload_slots(b, c);
+  return total;
+}
+
+}  // namespace p2pvod::hetero

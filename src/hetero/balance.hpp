@@ -1,0 +1,48 @@
+// u*-storage-balance (§4) and the elementary sub-box view.
+//
+// A system is u*-storage-balanced when 2 <= d_b/u_b <= d/u* for every box —
+// storage should sit where upload can serve it. The paper notes any system
+// with d_b >= 2 u_b can be *made* balanced by truncating storage to
+// d'_b = τ·u_b with τ = min_b d_b/u_b (at the cost of average storage τ·u);
+// `truncate_storage` implements that reduction.
+//
+// The Theorem 2 counting argument splits each box into elementary sub-boxes
+// of upload 1/c and storage <= d/(u*c); `sub_box_count` exposes that view so
+// tests can cross-check the analysis module's set-counting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/capacity.hpp"
+
+namespace p2pvod::hetero {
+
+struct BalanceReport {
+  bool storage_balanced = false;
+  double u_star = 1.0;
+  std::vector<model::BoxId> below_lower;  ///< boxes with d_b < 2 u_b
+  std::vector<model::BoxId> above_upper;  ///< boxes with d_b/u_b > d/u*
+  double min_ratio = 0.0;                 ///< min_b d_b/u_b (τ)
+  double max_ratio = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class BalanceChecker {
+ public:
+  [[nodiscard]] static BalanceReport check(
+      const model::CapacityProfile& profile, double u_star);
+
+  /// Reduce every box's storage to d'_b = τ·u_b, τ = min_b d_b/u_b.
+  /// Requires u_b > 0 for every box with d_b > 0.
+  [[nodiscard]] static model::CapacityProfile truncate_storage(
+      const model::CapacityProfile& profile);
+
+  /// Number of elementary sub-boxes (upload 1/c units) of box b: ⌊u_b·c⌋.
+  [[nodiscard]] static std::uint64_t sub_box_count(
+      const model::CapacityProfile& profile, std::uint32_t c);
+};
+
+}  // namespace p2pvod::hetero

@@ -1,0 +1,97 @@
+#include "hetero/relay.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace p2pvod::hetero {
+
+void RelayStrategy::plan(model::BoxId b, model::VideoId v,
+                         std::uint64_t ticket, model::Round now,
+                         sim::Simulator& sim,
+                         std::vector<sim::PlannedRequest>& out) {
+  if (plan_.relay.at(b) == model::kInvalidBox) {
+    plan_rich(b, v, ticket, now, sim, out);
+  } else {
+    plan_poor(b, v, ticket, now, sim, out);
+  }
+}
+
+void RelayStrategy::plan_rich(model::BoxId b, model::VideoId v,
+                              std::uint64_t ticket, model::Round now,
+                              sim::Simulator& sim,
+                              std::vector<sim::PlannedRequest>& out) const {
+  const model::Catalog& catalog = sim.catalog();
+  const std::uint32_t c = catalog.stripes_per_video();
+  const auto preload_index = static_cast<std::uint32_t>(ticket % c);
+  for (std::uint32_t i = 0; i < c; ++i) {
+    const model::StripeId s = catalog.stripe_id(v, i);
+    if (sim.allocation().box_has(b, s)) continue;
+    // Postponed requests at t+2 (not t+1): the heterogeneous schedule runs on
+    // a 2-round cadence so rich and relayed-poor boxes stay aligned.
+    const model::Round issue = (i == preload_index) ? now : now + 2;
+    out.push_back(sim::PlannedRequest::direct(b, s, issue));
+  }
+}
+
+void RelayStrategy::plan_poor(model::BoxId b, model::VideoId v,
+                              std::uint64_t ticket, model::Round now,
+                              sim::Simulator& sim,
+                              std::vector<sim::PlannedRequest>& out) const {
+  const model::Catalog& catalog = sim.catalog();
+  const std::uint32_t c = catalog.stripes_per_video();
+  const model::BoxId relay = plan_.relay.at(b);
+  const auto preload_index = static_cast<std::uint32_t>(ticket % c);
+  const std::uint32_t cb = plan_.direct_stripes.at(b);
+
+  // Churn fallback: with the relay down the reserved channel is gone; the
+  // poor box degrades to the plain preloading schedule on its own (it may
+  // stall — a poor box alone has no guarantee — but it is not stuck).
+  if (!sim.box_online(relay)) {
+    for (std::uint32_t i = 0; i < c; ++i) {
+      const model::StripeId s = catalog.stripe_id(v, i);
+      if (sim.allocation().box_has(b, s)) continue;
+      const model::Round issue = (i == preload_index) ? now : now + 1;
+      out.push_back(sim::PlannedRequest::direct(b, s, issue));
+    }
+    return;
+  }
+
+  // Emit a relayed request: r(b) downloads from round `issue`, forwards to b
+  // one round later. If r(b) holds the stripe statically it forwards from
+  // storage — no network request, b's cache entry starts at the same lag.
+  auto relay_stripe = [&](model::StripeId s, model::Round issue) {
+    if (sim.allocation().box_has(relay, s)) {
+      sim::PlannedRequest r;  // forwarding only: b caches, nobody downloads
+      r.requester = model::kInvalidBox;
+      r.stripe = s;
+      r.issue = issue;
+      r.grants = {sim::CacheGrant{b, issue + 1}};
+      // A request with no requester would be meaningless to match; instead
+      // grant the cache entry directly. (The forwarding uses reserved upload,
+      // which the usable-upload bookkeeping already excludes.)
+      out.push_back(std::move(r));
+      return;
+    }
+    sim::PlannedRequest r;
+    r.requester = relay;
+    r.stripe = s;
+    r.issue = issue;
+    r.grants = {sim::CacheGrant{relay, issue}, sim::CacheGrant{b, issue + 1}};
+    out.push_back(std::move(r));
+  };
+
+  std::uint32_t direct_used = 0;
+  for (std::uint32_t i = 0; i < c; ++i) {
+    const model::StripeId s = catalog.stripe_id(v, i);
+    if (sim.allocation().box_has(b, s)) continue;  // local playback
+    if (i == preload_index) {
+      relay_stripe(s, now);
+    } else if (direct_used < cb) {
+      ++direct_used;
+      out.push_back(sim::PlannedRequest::direct(b, s, now + 2));
+    } else {
+      relay_stripe(s, now + 3);
+    }
+  }
+}
+
+}  // namespace p2pvod::hetero

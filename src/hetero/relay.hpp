@@ -1,0 +1,44 @@
+// RelayStrategy: the §4 request strategy for balanced heterogeneous systems.
+//
+// Poor box b (u_b < u*), demand admitted at round t (the paper's [t−1, t[):
+//   t    — r(b) issues the preload request (stripe ticket mod c);
+//   t+1  — r(b) forwards it to b over the reserved upload (not a request);
+//   t+2  — b directly requests c_b = max(0, ⌊c·u_b − 4µ⁴⌋) further stripes;
+//   t+3  — r(b) requests the remaining c−1−c_b and forwards them (b receives
+//          from t+4).
+// Rich box a: preload at t, postponed at t+2 (one idle round so poor and rich
+// schedules share the ×2 time scale; growth bound becomes µ² on that scale).
+//
+// Cache accounting follows the paper: "each stripe forwarded by r(b) to b is
+// also cached by r(b)" — so both r(b) (entry = its request round) and b
+// (entry = one round later, when forwarding starts) serve later joiners.
+// Stripes held statically by the relay are forwarded from storage and need no
+// network request at all.
+#pragma once
+
+#include "hetero/compensation.hpp"
+#include "sim/strategy.hpp"
+
+namespace p2pvod::hetero {
+
+class RelayStrategy final : public sim::RequestStrategy {
+ public:
+  explicit RelayStrategy(const CompensationPlan& plan) : plan_(plan) {}
+
+  void plan(model::BoxId b, model::VideoId v, std::uint64_t ticket,
+            model::Round now, sim::Simulator& sim,
+            std::vector<sim::PlannedRequest>& out) override;
+  [[nodiscard]] std::string name() const override { return "relay"; }
+
+ private:
+  void plan_rich(model::BoxId b, model::VideoId v, std::uint64_t ticket,
+                 model::Round now, sim::Simulator& sim,
+                 std::vector<sim::PlannedRequest>& out) const;
+  void plan_poor(model::BoxId b, model::VideoId v, std::uint64_t ticket,
+                 model::Round now, sim::Simulator& sim,
+                 std::vector<sim::PlannedRequest>& out) const;
+
+  const CompensationPlan& plan_;
+};
+
+}  // namespace p2pvod::hetero

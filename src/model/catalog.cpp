@@ -1,0 +1,51 @@
+#include "model/catalog.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pvod::model {
+
+Catalog::Catalog(std::uint32_t videos, std::uint32_t stripes_per_video,
+                 Round duration)
+    : videos_(videos), c_(stripes_per_video), duration_(duration) {
+  if (videos_ == 0) throw std::invalid_argument("Catalog: zero videos");
+  if (c_ == 0) throw std::invalid_argument("Catalog: zero stripes per video");
+  if (duration_ <= 0) throw std::invalid_argument("Catalog: duration <= 0");
+}
+
+StripeId Catalog::stripe_id(VideoId v, std::uint32_t index) const {
+  if (v >= videos_) throw std::out_of_range("Catalog::stripe_id: bad video");
+  if (index >= c_) throw std::out_of_range("Catalog::stripe_id: bad index");
+  return v * c_ + index;
+}
+
+StripeRef Catalog::stripe_ref(StripeId s) const {
+  if (!contains(s)) throw std::out_of_range("Catalog::stripe_ref: bad stripe");
+  return StripeRef{s / c_, s % c_};
+}
+
+VideoId Catalog::video_of(StripeId s) const {
+  if (!contains(s)) throw std::out_of_range("Catalog::video_of: bad stripe");
+  return s / c_;
+}
+
+std::uint32_t Catalog::index_of(StripeId s) const {
+  if (!contains(s)) throw std::out_of_range("Catalog::index_of: bad stripe");
+  return s % c_;
+}
+
+std::vector<StripeId> Catalog::stripes_of(VideoId v) const {
+  if (v >= videos_) throw std::out_of_range("Catalog::stripes_of: bad video");
+  std::vector<StripeId> out(c_);
+  for (std::uint32_t i = 0; i < c_; ++i) out[i] = v * c_ + i;
+  return out;
+}
+
+std::string Catalog::describe() const {
+  std::ostringstream out;
+  out << "catalog m=" << videos_ << " c=" << c_ << " T=" << duration_
+      << " (stripes=" << stripe_count() << ")";
+  return out.str();
+}
+
+}  // namespace p2pvod::model

@@ -1,0 +1,61 @@
+// Catalog: the set of m videos, each encoded into c equal-rate stripes.
+//
+// The paper's simple encoding splits the video file into packets and assigns
+// packet p to stripe (p mod c); a viewer downloads all c stripes in parallel,
+// each at rate 1/c. This class owns the video <-> stripe id algebra and the
+// per-video metadata the simulator needs (duration, in rounds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+
+namespace p2pvod::model {
+
+class Catalog {
+ public:
+  /// All videos share duration T (rounds) and stripe count c, as in §1.1.
+  Catalog(std::uint32_t videos, std::uint32_t stripes_per_video,
+          Round duration);
+
+  [[nodiscard]] std::uint32_t video_count() const noexcept { return videos_; }
+  [[nodiscard]] std::uint32_t stripes_per_video() const noexcept { return c_; }
+  [[nodiscard]] std::uint32_t stripe_count() const noexcept {
+    return videos_ * c_;
+  }
+  [[nodiscard]] Round duration() const noexcept { return duration_; }
+
+  [[nodiscard]] StripeId stripe_id(VideoId v, std::uint32_t index) const;
+  [[nodiscard]] StripeRef stripe_ref(StripeId s) const;
+  [[nodiscard]] VideoId video_of(StripeId s) const;
+  [[nodiscard]] std::uint32_t index_of(StripeId s) const;
+
+  /// All c stripe ids of a video, in index order.
+  [[nodiscard]] std::vector<StripeId> stripes_of(VideoId v) const;
+
+  /// True when the id refers to a stripe of this catalog.
+  [[nodiscard]] bool contains(StripeId s) const noexcept {
+    return s < stripe_count();
+  }
+  [[nodiscard]] bool contains_video(VideoId v) const noexcept {
+    return v < videos_;
+  }
+
+  /// Chunk position arithmetic: a stripe download that began at round t0 needs
+  /// chunk (now - t0); the download completes when that position reaches
+  /// duration(). Positions are 0-based.
+  [[nodiscard]] bool position_in_range(Round position) const noexcept {
+    return position >= 0 && position < duration_;
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::uint32_t videos_;
+  std::uint32_t c_;
+  Round duration_;
+};
+
+}  // namespace p2pvod::model

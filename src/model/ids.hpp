@@ -1,0 +1,60 @@
+// Strongly-typed identifiers for the domain objects of the paper's model:
+// boxes (peers), videos, stripes, rounds.
+//
+// Stripe identifiers are flattened as video * c + stripe_index so that all
+// per-stripe state lives in contiguous vectors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace p2pvod::model {
+
+using BoxId = std::uint32_t;      ///< index of a box in [0, n)
+using VideoId = std::uint32_t;    ///< index of a video in [0, m)
+using StripeId = std::uint32_t;   ///< flattened stripe index in [0, m*c)
+using Round = std::int64_t;       ///< discrete time round (may be negative in tests)
+
+inline constexpr BoxId kInvalidBox = static_cast<BoxId>(-1);
+inline constexpr VideoId kInvalidVideo = static_cast<VideoId>(-1);
+inline constexpr StripeId kInvalidStripe = static_cast<StripeId>(-1);
+
+/// (video, stripe index within video) pair; convertible to/from StripeId via
+/// the catalog's stripe count c.
+struct StripeRef {
+  VideoId video = kInvalidVideo;
+  std::uint32_t index = 0;  ///< in [0, c)
+
+  friend constexpr bool operator==(const StripeRef&, const StripeRef&) = default;
+};
+
+/// A stripe request as in §2.2: stripe s requested by box b at round t.
+/// The request remains active for the duration of the video; at current round
+/// t_now it needs the chunk at position (t_now - issued).
+struct RequestKey {
+  StripeId stripe = kInvalidStripe;
+  Round issued = 0;
+  BoxId box = kInvalidBox;
+
+  friend constexpr bool operator==(const RequestKey&, const RequestKey&) = default;
+};
+
+}  // namespace p2pvod::model
+
+template <>
+struct std::hash<p2pvod::model::StripeRef> {
+  std::size_t operator()(const p2pvod::model::StripeRef& s) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(s.video) << 32) | s.index);
+  }
+};
+
+template <>
+struct std::hash<p2pvod::model::RequestKey> {
+  std::size_t operator()(const p2pvod::model::RequestKey& r) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(r.stripe) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(r.issued) + 0x7f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(r.box) + 0x632be59bULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};

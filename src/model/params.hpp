@@ -1,0 +1,69 @@
+// SystemParams: the (n, u, d)-video system of the paper plus the protocol
+// parameters (c stripes, k replicas, swarm growth bound µ, video duration T).
+//
+// This struct is the single source of truth threaded through allocation,
+// simulation and analysis; validate() enforces the model's well-formedness
+// conditions (Table 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/ids.hpp"
+
+namespace p2pvod::model {
+
+struct SystemParams {
+  // --- (n, u, d)-video system ---
+  std::uint32_t n = 0;      ///< number of boxes
+  double u = 1.0;           ///< average upload capacity (video streams)
+  double d = 1.0;           ///< average storage capacity (videos)
+
+  // --- catalog / striping ---
+  std::uint32_t m = 0;      ///< catalog size (number of distinct videos)
+  std::uint32_t c = 1;      ///< stripes per video, each of rate 1/c
+  std::uint32_t k = 1;      ///< replicas per stripe (k ≈ d n / m)
+
+  // --- dynamics ---
+  double mu = 1.0;          ///< maximal swarm growth µ ≥ 1 per round
+  Round video_duration = 32;  ///< T, in rounds (all videos same duration)
+
+  std::uint64_t seed = 0x5eed;  ///< base seed for all randomized components
+
+  /// Total stripe count m*c.
+  [[nodiscard]] std::uint32_t stripe_count() const noexcept { return m * c; }
+  /// Total replica count k*m*c.
+  [[nodiscard]] std::uint64_t replica_count() const noexcept {
+    return static_cast<std::uint64_t>(k) * m * c;
+  }
+  /// Total storage slots d*n*c (rounded to integer slots).
+  [[nodiscard]] std::uint64_t slot_count() const noexcept;
+  /// Per-box slots for a homogeneous system: d*c.
+  [[nodiscard]] std::uint32_t slots_per_box() const noexcept;
+  /// Effective integral per-box upload in stripes/round: ⌊u*c⌋ (homogeneous).
+  [[nodiscard]] std::uint32_t upload_slots() const noexcept;
+  /// Effective upload capacity u' = ⌊u c⌋ / c (§3).
+  [[nodiscard]] double u_prime() const noexcept;
+  /// Minimal chunk size ℓ = 1/c.
+  [[nodiscard]] double min_chunk() const noexcept { return 1.0 / c; }
+
+  /// Flatten / unflatten stripe ids.
+  [[nodiscard]] StripeId stripe_id(VideoId v, std::uint32_t idx) const noexcept {
+    return v * c + idx;
+  }
+  [[nodiscard]] StripeRef stripe_ref(StripeId s) const noexcept {
+    return StripeRef{s / c, s % c};
+  }
+
+  /// Throws std::invalid_argument describing the first violated constraint.
+  void validate() const;
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string describe() const;
+
+  /// Catalog size from storage identity m = d*n/k (rounded down, ≥ 1).
+  [[nodiscard]] static std::uint32_t catalog_from_replication(
+      std::uint32_t n, double d, std::uint32_t k);
+};
+
+}  // namespace p2pvod::model

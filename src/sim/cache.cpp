@@ -1,0 +1,63 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pvod::sim {
+
+CacheIndex::CacheIndex(std::uint32_t stripe_count, model::Round window)
+    : per_stripe_(stripe_count), window_(window) {
+  if (window <= 0) throw std::invalid_argument("CacheIndex: window <= 0");
+}
+
+void CacheIndex::grant(model::StripeId stripe, model::BoxId box,
+                       model::Round entry) {
+  if (stripe >= per_stripe_.size())
+    throw std::out_of_range("CacheIndex::grant");
+  per_stripe_[stripe].push_back({box, entry});
+  ++entries_;
+}
+
+std::size_t CacheIndex::collect_servers(model::StripeId stripe,
+                                        model::Round issue, model::Round now,
+                                        model::BoxId exclude,
+                                        std::vector<model::BoxId>& out) const {
+  if (stripe >= per_stripe_.size())
+    throw std::out_of_range("CacheIndex::collect_servers");
+  const model::Round oldest = now - window_;
+  std::size_t appended = 0;
+  for (const Entry& e : per_stripe_[stripe]) {
+    if (e.entry >= oldest && e.entry < issue && e.box != exclude) {
+      out.push_back(e.box);
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+std::uint64_t CacheIndex::remove_box(model::BoxId box) {
+  std::uint64_t removed = 0;
+  for (auto& entries : per_stripe_) {
+    const auto keep =
+        std::remove_if(entries.begin(), entries.end(),
+                       [box](const Entry& e) { return e.box == box; });
+    removed += static_cast<std::uint64_t>(entries.end() - keep);
+    entries.erase(keep, entries.end());
+  }
+  entries_ -= removed;
+  return removed;
+}
+
+void CacheIndex::prune(model::Round now) {
+  const model::Round oldest = now - window_;
+  for (auto& entries : per_stripe_) {
+    if (entries.empty()) continue;
+    const auto keep = std::remove_if(
+        entries.begin(), entries.end(),
+        [oldest](const Entry& e) { return e.entry < oldest; });
+    entries_ -= static_cast<std::uint64_t>(entries.end() - keep);
+    entries.erase(keep, entries.end());
+  }
+}
+
+}  // namespace p2pvod::sim

@@ -1,0 +1,58 @@
+// Playback-cache availability index.
+//
+// §1.1: "a box stores the video it is playing, as data arrives, in a cache
+// ... this cache contains all the data most recently viewed up to a video
+// file size." §2.2 turns that into the availability rule we index here: the
+// data at position (t - t_i) of stripe s is possessed by every box whose own
+// request for s was issued at t_j with  t - T <= t_j < t_i  (strictly earlier
+// joiners still inside the retention window).
+//
+// The index stores, per stripe, the cache grants (box, entry round) and
+// answers "who can serve request (s, t_i) at round t" — excluding the
+// requester itself. Entries older than the window are pruned lazily.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "sim/request.hpp"
+
+namespace p2pvod::sim {
+
+class CacheIndex {
+ public:
+  CacheIndex(std::uint32_t stripe_count, model::Round window);
+
+  /// Record that `box` holds the stream of `stripe` as if started at `entry`.
+  void grant(model::StripeId stripe, model::BoxId box, model::Round entry);
+
+  /// Append to `out` every box that, per the §2.2 rule, possesses the chunk a
+  /// request issued at `issue` needs at round `now`; `exclude` (the
+  /// requester) is skipped. Returns the number of boxes appended.
+  std::size_t collect_servers(model::StripeId stripe, model::Round issue,
+                              model::Round now, model::BoxId exclude,
+                              std::vector<model::BoxId>& out) const;
+
+  /// Drop entries that left the retention window (entry < now - window).
+  void prune(model::Round now);
+
+  /// Drop every entry of `box` (the box failed: its cache is gone). Returns
+  /// the number of entries removed.
+  std::uint64_t remove_box(model::BoxId box);
+
+  [[nodiscard]] std::uint64_t entry_count() const noexcept { return entries_; }
+  [[nodiscard]] model::Round window() const noexcept { return window_; }
+
+ private:
+  struct Entry {
+    model::BoxId box;
+    model::Round entry;
+  };
+
+  std::vector<std::vector<Entry>> per_stripe_;
+  model::Round window_;
+  std::uint64_t entries_ = 0;
+};
+
+}  // namespace p2pvod::sim

@@ -1,0 +1,31 @@
+#include "sim/report.hpp"
+
+#include <sstream>
+
+namespace p2pvod::sim {
+
+std::string RunReport::summary() const {
+  std::ostringstream out;
+  out << (success ? "SUCCESS" : "STALLED") << " rounds=" << rounds
+      << " demands=" << demands_admitted << " (+" << demands_rejected
+      << " rejected)"
+      << " requests=" << requests_issued << " chunks=" << chunks_served;
+  if (chunks_stalled > 0) {
+    out << " stalls=" << chunks_stalled << " continuity=" << continuity();
+  }
+  if (first_stall >= 0) {
+    out << " first_stall@" << first_stall << " |X|=" << stall_witness_size;
+  }
+  out << " sessions_done=" << sessions_completed
+      << " peak_swarm=" << peak_swarm;
+  if (startup_delay.total() > 0) {
+    out << " startup[p50=" << startup_delay.percentile(0.5)
+        << ",max=" << startup_delay.max() << "]";
+  }
+  if (upload_utilization.count() > 0) {
+    out << " util=" << upload_utilization.mean();
+  }
+  return out.str();
+}
+
+}  // namespace p2pvod::sim

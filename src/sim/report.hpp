@@ -1,0 +1,53 @@
+// RunReport: everything a simulation run measured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/ids.hpp"
+#include "util/stats.hpp"
+
+namespace p2pvod::sim {
+
+struct RunReport {
+  // --- outcome ---
+  bool success = true;           ///< no request-round went unserved
+  model::Round first_stall = -1; ///< round of the first unserved request (-1 if none)
+  std::uint32_t stall_witness_size = 0;  ///< |X| of the Hall-violating set at first stall
+
+  // --- volume ---
+  model::Round rounds = 0;
+  std::uint64_t demands_admitted = 0;
+  std::uint64_t demands_rejected = 0;    ///< box busy (at most one video per box)
+  std::uint64_t requests_issued = 0;
+  std::uint64_t chunks_served = 0;       ///< request-rounds satisfied
+  std::uint64_t chunks_stalled = 0;      ///< request-rounds missed (non-strict mode)
+  std::uint64_t sessions_completed = 0;
+
+  // --- churn (box failure extension) ---
+  std::uint64_t box_failures = 0;     ///< set_box_online(b, false) events
+  std::uint64_t sessions_aborted = 0; ///< playbacks killed by a failure
+
+  // --- quality ---
+  util::Histogram startup_delay;         ///< demand round -> first playback round + 1
+  util::OnlineStats upload_utilization;  ///< per-round served / capacity
+  util::OnlineStats active_requests;     ///< per-round |Y|
+  std::uint32_t peak_swarm = 0;
+
+  // --- matcher accounting ---
+  std::uint64_t kept_connections = 0;
+  std::uint64_t new_connections = 0;
+  std::uint64_t matcher_edges = 0;       ///< total candidate edges examined
+
+  /// Fraction of request-rounds served (1.0 on success).
+  [[nodiscard]] double continuity() const noexcept {
+    const std::uint64_t total = chunks_served + chunks_stalled;
+    return total == 0 ? 1.0
+                      : static_cast<double>(chunks_served) /
+                            static_cast<double>(total);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace p2pvod::sim

@@ -1,0 +1,4 @@
+#include "sim/request.hpp"
+
+// Header-only records; this translation unit pins the header's syntax into
+// the build (and hosts future out-of-line helpers).

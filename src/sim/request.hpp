@@ -1,0 +1,70 @@
+// Request records exchanged between strategies and the simulator.
+//
+// A *planned* request is what a strategy emits when a user demands a video:
+// which box downloads which stripe starting at which round, and which boxes
+// gain playback-cache entries as the data flows (normally just the requester;
+// under the §4 relay strategy both the relay and the poor box do, with the
+// poor box lagging one round behind the forwarder).
+//
+// An *active* request is a planned request currently downloading. At round
+// `now` it needs the chunk at position (now - issue); it completes after
+// position T-1 is delivered (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/ids.hpp"
+
+namespace p2pvod::sim {
+
+/// Session id: one per (box, demand) playback; groups requests for metrics.
+using SessionId = std::uint32_t;
+inline constexpr SessionId kInvalidSession = static_cast<SessionId>(-1);
+
+/// A playback-cache entry handed to the availability index: `box` holds the
+/// stream of a stripe as if it had started downloading it at round `entry`.
+struct CacheGrant {
+  model::BoxId box;
+  model::Round entry;
+};
+
+struct PlannedRequest {
+  model::BoxId requester = model::kInvalidBox;  ///< box whose download this is
+  model::StripeId stripe = model::kInvalidStripe;
+  model::Round issue = 0;  ///< round at which the request becomes active
+  /// Boxes whose caches fill with this stripe's data (see CacheGrant).
+  std::vector<CacheGrant> grants;
+
+  /// Convenience: the common case of a box downloading for itself.
+  [[nodiscard]] static PlannedRequest direct(model::BoxId box,
+                                             model::StripeId stripe,
+                                             model::Round issue) {
+    PlannedRequest r;
+    r.requester = box;
+    r.stripe = stripe;
+    r.issue = issue;
+    r.grants = {CacheGrant{box, issue}};
+    return r;
+  }
+};
+
+struct ActiveRequest {
+  model::StripeId stripe = model::kInvalidStripe;
+  model::Round issue = 0;
+  model::BoxId requester = model::kInvalidBox;
+  SessionId session = kInvalidSession;
+
+  /// Position needed at round `now` (0-based chunk index).
+  [[nodiscard]] model::Round position(model::Round now) const noexcept {
+    return now - issue;
+  }
+  /// Active while 0 <= position < duration.
+  [[nodiscard]] bool active_at(model::Round now,
+                               model::Round duration) const noexcept {
+    const model::Round p = position(now);
+    return p >= 0 && p < duration;
+  }
+};
+
+}  // namespace p2pvod::sim

@@ -1,0 +1,330 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/demand.hpp"
+
+namespace p2pvod::sim {
+
+Simulator::Simulator(const model::Catalog& catalog,
+                     const model::CapacityProfile& profile,
+                     const alloc::Allocation& allocation,
+                     RequestStrategy& strategy, SimulatorOptions options)
+    : catalog_(catalog),
+      profile_(profile),
+      allocation_(allocation),
+      strategy_(strategy),
+      options_(std::move(options)),
+      swarms_(catalog.video_count()),
+      cache_(catalog.stripe_count(), catalog.duration()),
+      matcher_(profile.size()),
+      busy_until_(profile.size(), 0) {
+  if (allocation_.box_count() != profile_.size())
+    throw std::invalid_argument("Simulator: allocation/profile size mismatch");
+  if (allocation_.stripe_count() != catalog_.stripe_count())
+    throw std::invalid_argument(
+        "Simulator: allocation/catalog stripe mismatch");
+  const std::uint32_t c = catalog_.stripes_per_video();
+  if (options_.capacity_override.empty()) {
+    capacity_slots_.resize(profile_.size());
+    for (model::BoxId b = 0; b < profile_.size(); ++b)
+      capacity_slots_[b] = profile_.upload_slots(b, c);
+  } else {
+    if (options_.capacity_override.size() != profile_.size())
+      throw std::invalid_argument(
+          "Simulator: capacity_override size mismatch");
+    capacity_slots_ = options_.capacity_override;
+  }
+  for (const std::uint32_t slots : capacity_slots_)
+    total_capacity_slots_ += slots;
+  nominal_capacity_ = capacity_slots_;
+  online_.assign(profile_.size(), true);
+}
+
+bool Simulator::box_idle(model::BoxId b) const {
+  return online_.at(b) && now_ >= busy_until_.at(b);
+}
+
+std::uint32_t Simulator::idle_box_count() const {
+  std::uint32_t idle = 0;
+  for (model::BoxId b = 0; b < profile_.size(); ++b) {
+    if (box_idle(b)) ++idle;
+  }
+  return idle;
+}
+
+void Simulator::admit(const Demand& demand) {
+  if (!catalog_.contains_video(demand.video))
+    throw std::out_of_range("Simulator: demand for unknown video");
+  if (demand.box >= profile_.size())
+    throw std::out_of_range("Simulator: demand from unknown box");
+  if (!online_[demand.box] || !box_idle(demand.box)) {
+    ++report_.demands_rejected;
+    return;
+  }
+  ++report_.demands_admitted;
+  const std::uint64_t ticket = swarms_.enter(demand.video, now_);
+
+  scratch_plans_.clear();
+  strategy_.plan(demand.box, demand.video, ticket, now_, *this,
+                 scratch_plans_);
+
+  // Playback can start once every stripe has delivered its first chunk to
+  // the viewer; with no network requests the box plays from local storage.
+  model::Round viewer_last_entry = now_;
+  for (const PlannedRequest& plan : scratch_plans_) {
+    for (const CacheGrant& grant : plan.grants) {
+      if (grant.box == demand.box)
+        viewer_last_entry = std::max(viewer_last_entry, grant.entry);
+    }
+  }
+  const model::Round playback_start = viewer_last_entry + 1;
+  const model::Round ends = playback_start + catalog_.duration();
+
+  // Plans with no requester are forwarding-from-storage (the §4 relay holds
+  // the stripe statically): they register cache grants but no network request.
+  // A plan whose requester is offline cannot be served at all (e.g. a custom
+  // strategy routed through a dead relay): reject the demand outright.
+  std::uint32_t network_requests = 0;
+  for (const PlannedRequest& plan : scratch_plans_) {
+    if (plan.requester == model::kInvalidBox) continue;
+    if (!online_.at(plan.requester)) {
+      swarms_.leave(demand.video);  // roll back the enter() above
+      --report_.demands_admitted;
+      ++report_.demands_rejected;
+      return;
+    }
+    ++network_requests;
+  }
+
+  const auto session_id = static_cast<SessionId>(sessions_.size());
+  sessions_.push_back({demand.box, demand.video, now_, playback_start, ends,
+                       network_requests});
+  busy_until_[demand.box] = ends;
+  end_events_[ends].push_back(session_id);
+
+  // Start-up delay measured from the start of the arrival interval [t-1, t[:
+  // preloading gives (t+1)+1 - (t-1) = 3 rounds, as in §3.
+  report_.startup_delay.add(playback_start - (now_ - 1));
+
+  for (const PlannedRequest& plan : scratch_plans_) {
+    if (plan.issue < now_)
+      throw std::logic_error("Simulator: plan issued in the past");
+    if (!catalog_.contains(plan.stripe))
+      throw std::out_of_range("Simulator: plan for unknown stripe");
+    for (const CacheGrant& grant : plan.grants)
+      cache_.grant(plan.stripe, grant.box, grant.entry);
+    if (plan.requester == model::kInvalidBox) continue;
+    ++report_.requests_issued;
+    pending_[plan.issue].push_back({plan, session_id});
+  }
+}
+
+void Simulator::activate_pending() {
+  const auto it = pending_.find(now_);
+  if (it == pending_.end()) return;
+  for (const PendingRequest& pending : it->second) {
+    live_.push_back({pending.plan.stripe, pending.plan.issue,
+                     pending.plan.requester, pending.session});
+    carry_.push_back(-1);
+  }
+  pending_.erase(it);
+}
+
+void Simulator::solve_round() {
+  if (live_.empty()) return;
+
+  flow::ConnectionProblem problem(profile_.size());
+  problem.set_capacities(capacity_slots_);
+  for (const ActiveRequest& request : live_) {
+    scratch_candidates_.clear();
+    for (const model::BoxId holder : allocation_.holders(request.stripe)) {
+      if (holder != request.requester && online_[holder])
+        scratch_candidates_.push_back(holder);
+    }
+    cache_.collect_servers(request.stripe, request.issue, now_,
+                           request.requester, scratch_candidates_);
+    std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
+    scratch_candidates_.erase(
+        std::unique(scratch_candidates_.begin(), scratch_candidates_.end()),
+        scratch_candidates_.end());
+    problem.add_request(scratch_candidates_);
+  }
+  report_.matcher_edges += problem.edge_count();
+
+  flow::MatchResult result;
+  if (options_.incremental) {
+    result = matcher_.solve(problem, carry_);
+    if (options_.verify_incremental) {
+      const flow::MatchResult reference = problem.solve(options_.engine);
+      if (reference.served != result.served)
+        throw std::logic_error(
+            "Simulator: incremental matcher disagrees with reference solve");
+    }
+  } else {
+    result = problem.solve(options_.engine);
+  }
+
+  report_.chunks_served += result.served;
+  const std::uint64_t unserved = live_.size() - result.served;
+  if (unserved > 0) {
+    report_.chunks_stalled += unserved;
+    if (report_.first_stall < 0) {
+      report_.first_stall = now_;
+      if (const auto witness = problem.infeasibility_witness())
+        report_.stall_witness_size =
+            static_cast<std::uint32_t>(witness->size());
+    }
+    if (options_.strict) {
+      report_.success = false;
+      stalled_ = true;
+    }
+  }
+
+  if (total_capacity_slots_ > 0) {
+    report_.upload_utilization.add(static_cast<double>(result.served) /
+                                   static_cast<double>(total_capacity_slots_));
+  }
+  carry_ = std::move(result.assignment);
+  // Connection-reuse accounting comes from the incremental matcher.
+  if (options_.incremental) {
+    report_.kept_connections = matcher_.stats().kept_connections;
+    report_.new_connections = matcher_.stats().new_connections;
+  }
+}
+
+void Simulator::retire_completed() {
+  const model::Round duration = catalog_.duration();
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    const ActiveRequest& request = live_[i];
+    if (request.position(now_) + 1 >= duration) {
+      // Last chunk delivered this round; the request retires.
+      Session& session = sessions_[request.session];
+      if (session.pending_requests == 0)
+        throw std::logic_error("Simulator: session underflow");
+      --session.pending_requests;
+      continue;
+    }
+    live_[write] = live_[i];
+    carry_[write] = carry_[i];
+    ++write;
+  }
+  live_.resize(write);
+  carry_.resize(write);
+}
+
+void Simulator::abort_session(SessionId id) {
+  Session& session = sessions_.at(id);
+  if (session.aborted) return;
+  if (session.ends <= now_) return;  // already finished normally
+  session.aborted = true;
+  swarms_.leave(session.video);
+  ++report_.sessions_aborted;
+  busy_until_[session.box] = std::min(busy_until_[session.box], now_);
+
+  // Drop the session's live requests (order-preserving, keeps carry_ aligned)
+  // and its not-yet-activated pending requests.
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].session == id) continue;
+    live_[write] = live_[i];
+    carry_[write] = carry_[i];
+    ++write;
+  }
+  live_.resize(write);
+  carry_.resize(write);
+  for (auto& [round, pending] : pending_) {
+    std::erase_if(pending, [id](const PendingRequest& p) {
+      return p.session == id;
+    });
+    (void)round;
+  }
+}
+
+void Simulator::set_box_online(model::BoxId box, bool online) {
+  if (box >= profile_.size())
+    throw std::out_of_range("Simulator::set_box_online");
+  if (online_[box] == online) return;
+  online_[box] = online;
+  capacity_slots_[box] = online ? nominal_capacity_[box] : 0u;
+  total_capacity_slots_ = 0;
+  for (const std::uint32_t slots : capacity_slots_)
+    total_capacity_slots_ += slots;
+
+  if (online) {
+    busy_until_[box] = now_;  // rejoins idle; static storage is intact
+    return;
+  }
+
+  ++report_.box_failures;
+  cache_.remove_box(box);  // volatile cache dies with the box
+
+  // Abort every playback the box was watching and every session that relied
+  // on it as the downloading requester (the §4 relay channel).
+  std::vector<bool> doomed(sessions_.size(), false);
+  for (SessionId id = 0; id < sessions_.size(); ++id) {
+    const Session& session = sessions_[id];
+    if (!session.aborted && session.ends > now_ && session.box == box)
+      doomed[id] = true;
+  }
+  for (const ActiveRequest& request : live_) {
+    if (request.requester == box) doomed[request.session] = true;
+  }
+  for (const auto& [round, pending] : pending_) {
+    for (const PendingRequest& p : pending) {
+      if (p.plan.requester == box) doomed[p.session] = true;
+    }
+    (void)round;
+  }
+  for (SessionId id = 0; id < sessions_.size(); ++id) {
+    if (doomed[id]) abort_session(id);
+  }
+}
+
+void Simulator::step(const std::vector<Demand>& demands) {
+  if (stalled_ && options_.strict) return;
+
+  // 1. Sessions ending now free their boxes and leave their swarms.
+  if (const auto it = end_events_.find(now_); it != end_events_.end()) {
+    for (const SessionId id : it->second) {
+      const Session& session = sessions_[id];
+      if (session.aborted) continue;  // churn already settled this one
+      swarms_.leave(session.video);
+      ++report_.sessions_completed;
+    }
+    end_events_.erase(it);
+  }
+
+  // 2. Freeze f(t) for the growth rule, then 3./4. admit demands.
+  swarms_.begin_round(now_);
+  for (const Demand& demand : demands) admit(demand);
+
+  // 5. Activate requests issued this round; drop expired cache entries.
+  activate_pending();
+  cache_.prune(now_);
+
+  // 6. Connection matching for this round.
+  report_.active_requests.add(static_cast<double>(live_.size()));
+  solve_round();
+
+  // 7. Retire requests whose final chunk was delivered.
+  if (!(stalled_ && options_.strict)) retire_completed();
+
+  report_.peak_swarm = swarms_.peak_size();
+  ++now_;
+  report_.rounds = now_;
+}
+
+RunReport Simulator::run(workload::DemandGenerator& generator,
+                         model::Round rounds) {
+  for (model::Round t = 0; t < rounds; ++t) {
+    const std::vector<Demand> demands = generator.demands(*this);
+    step(demands);
+    if (stalled_ && options_.strict) break;
+  }
+  return report_;
+}
+
+}  // namespace p2pvod::sim

@@ -1,0 +1,174 @@
+// The round-based fully-distributed VoD simulator (DESIGN.md S5).
+//
+// One step() is one time round of the paper's model (§1.1): demands arrive,
+// the request strategy turns them into stripe requests, and a connection
+// matching (Lemma 1) is computed over all active requests — every active
+// request must receive its current chunk from a box possessing it (static
+// replica or playback cache), with box b serving at most ⌊u_b c⌋ stripe
+// connections. In strict mode an unserved request ends the run: the demand
+// sequence defeated the allocation.
+//
+// Round pipeline (at round t):
+//   1. sessions ending at t release their boxes and leave their swarms
+//   2. swarm sizes are frozen (the f(t) of the growth rule)
+//   3. demands are admitted (busy boxes reject; one video per box)
+//   4. the strategy plans requests; cache grants are registered
+//   5. requests issued at t activate; expired cache entries are pruned
+//   6. the connection matching is solved; chunks are accounted
+//   7. requests that received their last chunk retire
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "flow/bipartite.hpp"
+#include "flow/matcher.hpp"
+#include "model/capacity.hpp"
+#include "model/catalog.hpp"
+#include "model/ids.hpp"
+#include "sim/cache.hpp"
+#include "sim/report.hpp"
+#include "sim/request.hpp"
+#include "sim/strategy.hpp"
+#include "sim/swarm.hpp"
+
+namespace p2pvod::workload {
+class DemandGenerator;
+}  // namespace p2pvod::workload
+
+namespace p2pvod::sim {
+
+/// A user demand: box wants to play video. Demands arriving at round t are
+/// the paper's "demand during [t-1, t[" — the strategy reacts at t.
+struct Demand {
+  model::BoxId box;
+  model::VideoId video;
+};
+
+struct SimulatorOptions {
+  flow::Engine engine = flow::Engine::kDinic;
+  /// Reuse last round's connections and only rewire the difference (E12).
+  bool incremental = true;
+  /// Cross-check the incremental matcher against a from-scratch solve every
+  /// round (tests; expensive).
+  bool verify_incremental = false;
+  /// Stop at the first unserved request (the paper's feasibility semantics).
+  /// When false, stalls are counted and positions advance (continuity metric).
+  bool strict = true;
+  /// Per-box upload override in stripe slots (hetero relay reserves upload);
+  /// empty = ⌊u_b c⌋ from the capacity profile.
+  std::vector<std::uint32_t> capacity_override;
+};
+
+class Simulator {
+ public:
+  Simulator(const model::Catalog& catalog,
+            const model::CapacityProfile& profile,
+            const alloc::Allocation& allocation, RequestStrategy& strategy,
+            SimulatorOptions options = {});
+
+  /// Advance one round with the given demands. No-op once stalled in strict
+  /// mode.
+  void step(const std::vector<Demand>& demands);
+
+  /// Churn extension: take a box offline or bring it back.
+  ///
+  /// Going offline models a crash: the box's upload capacity drops to zero,
+  /// its static replicas and cached data become unreachable, every playback
+  /// it was watching is aborted, and — relay case — every session it was
+  /// forwarding for is aborted too (the §4 reserved channel dies with it).
+  /// Coming back restores capacity and static storage; the playback cache is
+  /// gone (it was volatile state).
+  void set_box_online(model::BoxId box, bool online);
+  [[nodiscard]] bool box_online(model::BoxId box) const {
+    return online_.at(box);
+  }
+
+  /// Drive `rounds` rounds pulling demands from `generator`; returns the
+  /// final report (also kept, see report()).
+  RunReport run(workload::DemandGenerator& generator, model::Round rounds);
+
+  // --- queries (used by strategies, workloads, tests) ---
+  [[nodiscard]] model::Round now() const noexcept { return now_; }
+  [[nodiscard]] const model::Catalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const model::CapacityProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const alloc::Allocation& allocation() const noexcept {
+    return allocation_;
+  }
+  [[nodiscard]] const SwarmRegistry& swarms() const noexcept {
+    return swarms_;
+  }
+  [[nodiscard]] bool box_idle(model::BoxId b) const;
+  [[nodiscard]] std::uint32_t idle_box_count() const;
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+  [[nodiscard]] std::uint32_t active_request_count() const noexcept {
+    return static_cast<std::uint32_t>(live_.size());
+  }
+  [[nodiscard]] const RunReport& report() const noexcept { return report_; }
+  [[nodiscard]] std::uint32_t capacity_slots(model::BoxId b) const {
+    return capacity_slots_.at(b);
+  }
+  [[nodiscard]] std::uint64_t total_capacity_slots() const noexcept {
+    return total_capacity_slots_;
+  }
+
+ private:
+  struct Session {
+    model::BoxId box;
+    model::VideoId video;
+    model::Round demand_round;
+    model::Round playback_start;
+    model::Round ends;  ///< first round the box is idle again
+    std::uint32_t pending_requests;
+    bool aborted = false;  ///< killed by churn; end event becomes a no-op
+  };
+
+  struct PendingRequest {
+    PlannedRequest plan;
+    SessionId session;
+  };
+
+  void admit(const Demand& demand);
+  void activate_pending();
+  void solve_round();
+  void retire_completed();
+  void abort_session(SessionId id);
+
+  const model::Catalog& catalog_;
+  const model::CapacityProfile& profile_;
+  const alloc::Allocation& allocation_;
+  RequestStrategy& strategy_;
+  SimulatorOptions options_;
+
+  SwarmRegistry swarms_;
+  CacheIndex cache_;
+  flow::IncrementalMatcher matcher_;
+
+  std::vector<Session> sessions_;
+  std::vector<model::Round> busy_until_;
+  std::map<model::Round, std::vector<PendingRequest>> pending_;
+  std::map<model::Round, std::vector<SessionId>> end_events_;
+  std::vector<ActiveRequest> live_;
+  std::vector<std::int32_t> carry_;  ///< previous assignment, aligned to live_
+  std::vector<std::uint32_t> capacity_slots_;
+  std::vector<std::uint32_t> nominal_capacity_;  ///< restored on recovery
+  std::vector<bool> online_;
+  std::uint64_t total_capacity_slots_ = 0;
+
+  RunReport report_;
+  model::Round now_ = 0;
+  bool stalled_ = false;
+
+  // scratch buffers reused across rounds
+  std::vector<model::BoxId> scratch_candidates_;
+  std::vector<PlannedRequest> scratch_plans_;
+};
+
+}  // namespace p2pvod::sim

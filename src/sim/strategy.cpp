@@ -1,0 +1,45 @@
+#include "sim/strategy.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace p2pvod::sim {
+
+void PreloadingStrategy::plan(model::BoxId b, model::VideoId v,
+                              std::uint64_t ticket, model::Round now,
+                              Simulator& sim,
+                              std::vector<PlannedRequest>& out) {
+  const model::Catalog& catalog = sim.catalog();
+  const std::uint32_t c = catalog.stripes_per_video();
+  const auto preload_index = static_cast<std::uint32_t>(ticket % c);
+  for (std::uint32_t i = 0; i < c; ++i) {
+    const model::StripeId s = catalog.stripe_id(v, i);
+    if (sim.allocation().box_has(b, s)) continue;  // plays from local storage
+    const model::Round issue = (i == preload_index) ? now : now + 1;
+    out.push_back(PlannedRequest::direct(b, s, issue));
+  }
+}
+
+void NaiveStrategy::plan(model::BoxId b, model::VideoId v,
+                         std::uint64_t /*ticket*/, model::Round now,
+                         Simulator& sim, std::vector<PlannedRequest>& out) {
+  const model::Catalog& catalog = sim.catalog();
+  for (std::uint32_t i = 0; i < catalog.stripes_per_video(); ++i) {
+    const model::StripeId s = catalog.stripe_id(v, i);
+    if (sim.allocation().box_has(b, s)) continue;
+    out.push_back(PlannedRequest::direct(b, s, now));
+  }
+}
+
+std::unique_ptr<RequestStrategy> make_strategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kPreloading:
+      return std::make_unique<PreloadingStrategy>();
+    case StrategyKind::kNaive:
+      return std::make_unique<NaiveStrategy>();
+  }
+  throw std::logic_error("make_strategy: bad kind");
+}
+
+}  // namespace p2pvod::sim

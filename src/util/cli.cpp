@@ -1,0 +1,94 @@
+#include "util/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace p2pvod::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      token.erase(0, 2);
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        options_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[token] = argv[++i];
+      } else {
+        options_[token] = "true";  // bare flag
+      }
+    } else {
+      positional_.push_back(std::move(token));
+    }
+  }
+}
+
+std::string ArgParser::env_name(const std::string& name) {
+  std::string out = "P2PVOD_";
+  for (const char ch : name) {
+    out += (ch == '-') ? '_' : static_cast<char>(std::toupper(
+                                   static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  if (options_.count(name) != 0) return true;
+  return std::getenv(env_name(name).c_str()) != nullptr;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  if (const auto it = options_.find(name); it != options_.end())
+    return it->second;
+  if (const char* env = std::getenv(env_name(name).c_str()); env != nullptr)
+    return std::string(env);
+  return std::nullopt;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return std::stoll(*value);
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return std::stod(*value);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return *value == "true" || *value == "1" || *value == "yes" || *value == "on";
+}
+
+std::uint64_t ArgParser::get_seed(const std::string& name,
+                                  std::uint64_t fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return std::stoull(*value);
+}
+
+double bench_scale() {
+  if (const char* env = std::getenv("P2PVOD_SCALE"); env != nullptr) {
+    try {
+      const double scale = std::stod(env);
+      if (scale > 0.0) return scale;
+    } catch (const std::exception&) {
+      // fall through to default
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace p2pvod::util

@@ -1,0 +1,56 @@
+// Tiny command-line/environment option parser for examples and benches.
+//
+// Usage:  ArgParser args(argc, argv);
+//         int n = args.get_int("n", 500);          // --n=1000 or --n 1000
+//         double u = args.get_double("u", 1.25);
+// Every option also falls back to environment variable P2PVOD_<UPPERNAME> so
+// bench binaries can be scaled without editing the command line
+// (e.g. P2PVOD_SCALE=3 ./bench_fig_threshold).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace p2pvod::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+  [[nodiscard]] std::uint64_t get_seed(const std::string& name,
+                                       std::uint64_t fallback) const;
+
+  /// Positional arguments (non --flag tokens) in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Name of the executable (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  [[nodiscard]] static std::string env_name(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+/// Global convenience: bench scale factor from P2PVOD_SCALE (default 1.0).
+/// Benches multiply trial counts / n by this so CI machines can shrink work.
+[[nodiscard]] double bench_scale();
+
+}  // namespace p2pvod::util

@@ -1,0 +1,76 @@
+#include "util/logmath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace p2pvod::util {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double log_factorial(std::int64_t n) {
+  if (n < 0) throw std::invalid_argument("log_factorial: negative argument");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  if (k == 0 || k == n) return 0.0;
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_compositions(std::int64_t size, std::int64_t distinct) {
+  if (distinct <= 0 || size < distinct) return kNegInf;
+  return log_binomial(size - 1, distinct - 1);
+}
+
+double log_sum_exp(std::span<const double> values) {
+  if (values.empty()) return kNegInf;
+  const double mx = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(mx)) return mx;  // all -inf, or a +inf dominates
+  double acc = 0.0;
+  for (const double v : values) acc += std::exp(v - mx);
+  return mx + std::log(acc);
+}
+
+double log_add_exp(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double mx = std::max(a, b);
+  return mx + std::log1p(std::exp(std::min(a, b) - mx));
+}
+
+double exp_clamped(double x) {
+  if (x > 709.0) return std::numeric_limits<double>::infinity();
+  if (x < -745.0) return 0.0;
+  return std::exp(x);
+}
+
+double xlogy(double x, double y) {
+  if (x == 0.0) return 0.0;
+  return x * std::log(y);
+}
+
+void LogSumAccumulator::add_log(double log_term) {
+  ++count_;
+  if (log_term == kNegInf) return;
+  if (log_term > max_log_) {
+    // Rescale the running sum to the new maximum.
+    sum_scaled_ = sum_scaled_ * std::exp(max_log_ - log_term) + 1.0;
+    max_log_ = log_term;
+  } else {
+    sum_scaled_ += std::exp(log_term - max_log_);
+  }
+}
+
+double LogSumAccumulator::log_total() const {
+  if (sum_scaled_ <= 0.0) return kNegInf;
+  return max_log_ + std::log(sum_scaled_);
+}
+
+double LogSumAccumulator::total() const { return exp_clamped(log_total()); }
+
+}  // namespace p2pvod::util

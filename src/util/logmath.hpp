@@ -1,0 +1,58 @@
+// Log-space combinatorics used by the analytical model (src/analysis).
+//
+// The first-moment sums of Theorem 1 involve terms like C(mc, i1) * (i/u'nc)^{k i1}
+// whose magnitudes overflow double range for realistic n; everything here is
+// therefore computed in natural-log space with lgamma, plus a numerically
+// stable log-sum-exp reducer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace p2pvod::util {
+
+/// Natural log of n! via lgamma. n must be >= 0.
+[[nodiscard]] double log_factorial(std::int64_t n);
+
+/// Natural log of the binomial coefficient C(n, k).
+/// Returns -infinity when the coefficient is zero (k < 0 or k > n).
+[[nodiscard]] double log_binomial(std::int64_t n, std::int64_t k);
+
+/// Natural log of the number of multisets of size `size` drawn from a ground
+/// set of `distinct` elements that use *exactly* `distinct` distinct values:
+/// log C(size-1, distinct-1) (stars and bars). -inf when impossible.
+[[nodiscard]] double log_compositions(std::int64_t size, std::int64_t distinct);
+
+/// Numerically stable log(sum(exp(x_i))) over a span. Empty span -> -inf.
+[[nodiscard]] double log_sum_exp(std::span<const double> values);
+
+/// Stable log(exp(a) + exp(b)).
+[[nodiscard]] double log_add_exp(double a, double b);
+
+/// exp(x) clamped so that the result never overflows (+inf) silently:
+/// values above ~709 return +infinity which callers treat as "bound useless".
+[[nodiscard]] double exp_clamped(double x);
+
+/// Binary entropy-style helper: x * log(y) with the convention 0 * log(0) = 0.
+[[nodiscard]] double xlogy(double x, double y);
+
+/// Accumulates a sum of probabilities supplied in log space; exposes the total
+/// in log space. Useful for the obstruction union bound where millions of
+/// tiny terms are added.
+class LogSumAccumulator {
+ public:
+  void add_log(double log_term);
+  /// log of the accumulated sum; -inf when empty.
+  [[nodiscard]] double log_total() const;
+  /// Accumulated sum in linear space (may be +inf or underflow to 0).
+  [[nodiscard]] double total() const;
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  double max_log_ = -1e308;
+  double sum_scaled_ = 0.0;  // sum of exp(term - max_log_)
+  std::size_t count_ = 0;
+};
+
+}  // namespace p2pvod::util

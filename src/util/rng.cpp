@@ -1,0 +1,70 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace p2pvod::util {
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire 2019: multiply-shift with rejection only in the biased strip.
+  std::uint64_t x = engine_();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = engine_();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_between(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1ULL;  // hi == lo gives span 1
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  // 53 high-quality bits -> [0, 1) with full double precision.
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double rate) noexcept {
+  // Inverse CDF; guard against log(0).
+  double x = next_double();
+  while (x <= 0.0) x = next_double();
+  return -std::log(x) / rate;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t count) {
+  std::vector<std::uint32_t> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) out[i] = i;
+  shuffle(out);
+  return out;
+}
+
+}  // namespace p2pvod::util

@@ -1,0 +1,132 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pvod::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  return *this;
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string_view text) {
+  if (rows_.empty()) begin_row();
+  rows_.back().emplace_back(text);
+  return *this;
+}
+
+std::string Table::format_double(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream out;
+  // General format keeps small/large magnitudes readable in one column.
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint32_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(bool value) { return cell(value ? "yes" : "no"); }
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::size_t Table::columns() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  return cols;
+}
+
+void Table::print(std::ostream& out) const {
+  const std::size_t cols = columns();
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell_text = i < row.size() ? row[i] : std::string{};
+      out << cell_text;
+      if (i + 1 < cols)
+        out << std::string(width[i] - cell_text.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < cols; ++i) rule += width[i] + (i + 1 < cols ? 2 : 0);
+    out << std::string(rule, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell_text) {
+  const bool needs_quote =
+      cell_text.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell_text;
+  std::string out = "\"";
+  for (const char ch : cell_text) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(row[i]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  file << to_csv();
+  if (!file) throw std::runtime_error("Table::write_csv: write failed " + path);
+}
+
+}  // namespace p2pvod::util

@@ -1,0 +1,62 @@
+// Aligned text tables and CSV emission for the experiment harness.
+//
+// Every bench binary prints its series as (a) a human-readable aligned table
+// on stdout and (b) optionally a CSV file, so results can be diffed against
+// EXPERIMENTS.md and re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2pvod::util {
+
+/// Column-aligned table builder. Cells are strings; numeric helpers format
+/// with sensible defaults (6 significant digits, trailing-zero trimmed).
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& set_header(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& begin_row();
+  Table& cell(std::string_view text);
+  /// Without this overload a string literal would bind to cell(bool) —
+  /// const char* -> bool is a standard conversion and beats string_view.
+  Table& cell(const char* text) { return cell(std::string_view(text)); }
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::uint32_t value);
+  Table& cell(int value);
+  Table& cell(bool value);
+
+  /// Convenience: whole row at once.
+  Table& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const;
+
+  /// Render as an aligned text table.
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (header + rows, RFC-ish quoting).
+  [[nodiscard]] std::string to_csv() const;
+  /// Write CSV to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  /// Format a double the way cell(double) does (shared by tests).
+  [[nodiscard]] static std::string format_double(double value, int precision = 4);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2pvod::util

@@ -1,0 +1,65 @@
+// Minimal work-stealing-free thread pool plus parallel_for helpers.
+//
+// Monte-Carlo experiments (many independent trials) are the only parallel
+// workload in this library; trials carry deterministic child seeds so results
+// are identical regardless of thread count or scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace p2pvod::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submit a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Global pool shared by the library's parallel helpers.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across the pool; blocks until all done.
+/// Falls back to a serial loop when the range is tiny or the pool has a
+/// single thread (avoids pointless contention on one-core machines).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+/// Map-reduce over [0, count): results[i] = map(i), combined serially in index
+/// order so reduction is deterministic.
+template <typename Result>
+std::vector<Result> parallel_map(std::size_t count,
+                                 const std::function<Result(std::size_t)>& map,
+                                 ThreadPool* pool = nullptr) {
+  std::vector<Result> results(count);
+  parallel_for(
+      0, count, [&](std::size_t i) { results[i] = map(i); }, pool);
+  return results;
+}
+
+}  // namespace p2pvod::util

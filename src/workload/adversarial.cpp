@@ -1,0 +1,52 @@
+#include "workload/adversarial.hpp"
+
+#include <algorithm>
+
+namespace p2pvod::workload {
+
+std::vector<sim::Demand> AvoiderAdversary::demands(const sim::Simulator& sim) {
+  std::vector<sim::Demand> out;
+  const model::Catalog& catalog = sim.catalog();
+  const alloc::Allocation& allocation = sim.allocation();
+  const std::uint32_t m = catalog.video_count();
+
+  std::uint32_t emitted = 0;
+  for (const model::BoxId b : idle_boxes(sim)) {
+    if (max_per_round_ != 0 && emitted >= max_per_round_) break;
+
+    // Collect the videos b has no data of; pick one uniformly to spread
+    // swarms (keeps the per-video growth bound satisfied for free when n<<m).
+    std::vector<model::VideoId> missing;
+    missing.reserve(m);
+    for (model::VideoId v = 0; v < m; ++v) {
+      if (!allocation.box_has_video_data(b, catalog, v)) missing.push_back(v);
+    }
+    if (!missing.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng_.next_below(missing.size()));
+      out.push_back({b, missing[pick]});
+      ++emitted;
+      continue;
+    }
+    if (fallback_ == Fallback::kStaySilent) continue;
+
+    // Fallback: least locally-stored stripes (weakest local coverage).
+    model::VideoId best = 0;
+    std::uint32_t best_count = catalog.stripes_per_video() + 1;
+    for (model::VideoId v = 0; v < m; ++v) {
+      std::uint32_t count = 0;
+      for (std::uint32_t i = 0; i < catalog.stripes_per_video(); ++i) {
+        if (allocation.box_has(b, catalog.stripe_id(v, i))) ++count;
+      }
+      if (count < best_count) {
+        best_count = count;
+        best = v;
+      }
+    }
+    out.push_back({b, best});
+    ++emitted;
+  }
+  return out;
+}
+
+}  // namespace p2pvod::workload

@@ -1,0 +1,30 @@
+#include "workload/flash_crowd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pvod::workload {
+
+std::vector<sim::Demand> FlashCrowd::demands(const sim::Simulator& sim) {
+  std::vector<sim::Demand> out;
+  if (sim.now() < start_) return out;
+  if (max_joiners_ != 0 && joined_ >= max_joiners_) return out;
+
+  // Maximal growth: the swarm may reach ceil(max(f,1)·µ) next round.
+  const std::uint32_t f = sim.swarms().size(video_);
+  const double target = std::ceil(std::max<double>(f, 1.0) * mu_);
+  std::uint32_t joins =
+      target <= f ? 0u : static_cast<std::uint32_t>(target) - f;
+  if (sim.now() == start_ && f == 0 && joins == 0) joins = 1;  // seed viewer
+  if (max_joiners_ != 0) joins = std::min(joins, max_joiners_ - joined_);
+
+  for (const model::BoxId b : idle_boxes(sim)) {
+    if (joins == 0) break;
+    out.push_back({b, video_});
+    --joins;
+    ++joined_;
+  }
+  return out;
+}
+
+}  // namespace p2pvod::workload

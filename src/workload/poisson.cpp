@@ -1,0 +1,34 @@
+#include "workload/poisson.hpp"
+
+#include <cmath>
+
+namespace p2pvod::workload {
+
+std::uint32_t PoissonArrivals::sample_poisson() {
+  const double limit = std::exp(-rate_);
+  std::uint32_t count = 0;
+  double product = rng_.next_double();
+  while (product > limit) {
+    ++count;
+    product *= rng_.next_double();
+  }
+  return count;
+}
+
+std::vector<sim::Demand> PoissonArrivals::demands(const sim::Simulator& sim) {
+  std::vector<sim::Demand> out;
+  std::uint32_t arrivals = sample_poisson();
+  if (arrivals == 0) return out;
+  std::vector<model::BoxId> idle = idle_boxes(sim);
+  const std::uint32_t m = sim.catalog().video_count();
+  while (arrivals-- > 0 && !idle.empty()) {
+    const auto pick = static_cast<std::size_t>(rng_.next_below(idle.size()));
+    const model::BoxId box = idle[pick];
+    idle[pick] = idle.back();
+    idle.pop_back();
+    out.push_back({box, static_cast<model::VideoId>(rng_.next_below(m))});
+  }
+  return out;
+}
+
+}  // namespace p2pvod::workload

@@ -1,0 +1,72 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pvod::workload {
+
+Trace::Trace(std::vector<TraceEntry> entries) : entries_(std::move(entries)) {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.round < b.round;
+                   });
+}
+
+void Trace::add(model::Round round, model::BoxId box, model::VideoId video) {
+  if (!entries_.empty() && round < entries_.back().round)
+    throw std::invalid_argument("Trace::add: rounds must be non-decreasing");
+  entries_.push_back({round, box, video});
+}
+
+void Trace::save(std::ostream& out) const {
+  for (const TraceEntry& e : entries_)
+    out << e.round << ' ' << e.box << ' ' << e.video << '\n';
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("Trace::save_file: cannot open " + path);
+  save(file);
+}
+
+Trace Trace::load(std::istream& in) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    TraceEntry e{};
+    if (!(fields >> e.round >> e.box >> e.video))
+      throw std::runtime_error("Trace::load: malformed line: " + line);
+    entries.push_back(e);
+  }
+  return Trace(std::move(entries));
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("Trace::load_file: cannot open " + path);
+  return load(file);
+}
+
+std::vector<sim::Demand> TraceRecorder::demands(const sim::Simulator& sim) {
+  std::vector<sim::Demand> out = inner_.demands(sim);
+  for (const sim::Demand& d : out) trace_.add(sim.now(), d.box, d.video);
+  return out;
+}
+
+TraceReplay::TraceReplay(Trace trace) : trace_(std::move(trace)) {}
+
+std::vector<sim::Demand> TraceReplay::demands(const sim::Simulator& sim) {
+  std::vector<sim::Demand> out;
+  const auto& entries = trace_.entries();
+  while (cursor_ < entries.size() && entries[cursor_].round == sim.now()) {
+    out.push_back({entries[cursor_].box, entries[cursor_].video});
+    ++cursor_;
+  }
+  return out;
+}
+
+}  // namespace p2pvod::workload

@@ -1,0 +1,74 @@
+// Demand traces: record a generator's output and replay it verbatim.
+//
+// Traces make adversarial counter-examples reproducible artifacts: when a
+// random experiment finds a defeating sequence, the trace can be saved,
+// attached to a bug report, and replayed against a fixed allocation. Plain
+// text format, one demand per line: "<round> <box> <video>".
+#pragma once
+
+#include <iosfwd>
+
+#include "workload/demand.hpp"
+
+namespace p2pvod::workload {
+
+struct TraceEntry {
+  model::Round round;
+  model::BoxId box;
+  model::VideoId video;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceEntry> entries);
+
+  void add(model::Round round, model::BoxId box, model::VideoId video);
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static Trace load(std::istream& in);
+  [[nodiscard]] static Trace load_file(const std::string& path);
+
+ private:
+  std::vector<TraceEntry> entries_;  ///< kept sorted by round (stable)
+};
+
+/// Wraps another generator, recording everything it emits.
+class TraceRecorder final : public DemandGenerator {
+ public:
+  explicit TraceRecorder(DemandGenerator& inner) : inner_(inner) {}
+
+  [[nodiscard]] std::vector<sim::Demand> demands(
+      const sim::Simulator& sim) override;
+  [[nodiscard]] std::string name() const override {
+    return "record(" + inner_.name() + ")";
+  }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  DemandGenerator& inner_;
+  Trace trace_;
+};
+
+/// Replays a trace: demands recorded for round t are emitted at round t.
+class TraceReplay final : public DemandGenerator {
+ public:
+  explicit TraceReplay(Trace trace);
+
+  [[nodiscard]] std::vector<sim::Demand> demands(
+      const sim::Simulator& sim) override;
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+ private:
+  Trace trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace p2pvod::workload

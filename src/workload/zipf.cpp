@@ -1,0 +1,46 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2pvod::workload {
+
+ZipfSampler::ZipfSampler(std::uint32_t size, double alpha) {
+  if (size == 0) throw std::invalid_argument("ZipfSampler: empty support");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfSampler: alpha < 0");
+  cumulative_.resize(size);
+  double acc = 0.0;
+  for (std::uint32_t r = 0; r < size; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cumulative_[r] = acc;
+  }
+  for (double& value : cumulative_) value /= acc;
+}
+
+std::uint32_t ZipfSampler::sample(util::Rng& rng) const {
+  const double x = rng.next_double();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), x);
+  return static_cast<std::uint32_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+double ZipfSampler::probability(std::uint32_t rank) const {
+  if (rank >= cumulative_.size())
+    throw std::out_of_range("ZipfSampler::probability");
+  return rank == 0 ? cumulative_[0]
+                   : cumulative_[rank] - cumulative_[rank - 1];
+}
+
+std::vector<sim::Demand> ZipfDemand::demands(const sim::Simulator& sim) {
+  std::vector<sim::Demand> out;
+  for (const model::BoxId b : idle_boxes(sim)) {
+    if (!rng_.next_bool(demand_prob_)) continue;
+    out.push_back({b, sampler_.sample(rng_)});
+  }
+  return out;
+}
+
+}  // namespace p2pvod::workload

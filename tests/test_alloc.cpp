@@ -1,0 +1,289 @@
+// Unit tests for src/alloc: the Allocation container invariants and the four
+// placement schemes (§2.1 permutation/independent, round-robin and
+// full-replication baselines).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/allocation.hpp"
+#include "alloc/allocator.hpp"
+#include "alloc/full_replication.hpp"
+#include "alloc/independent.hpp"
+#include "alloc/permutation.hpp"
+#include "alloc/round_robin.hpp"
+#include "util/rng.hpp"
+
+namespace a = p2pvod::alloc;
+namespace m = p2pvod::model;
+
+namespace {
+struct Fixture {
+  m::Catalog catalog{20, 4, 16};                          // m=20, c=4
+  m::CapacityProfile profile{m::CapacityProfile::homogeneous(16, 1.5, 5.0)};
+  p2pvod::util::Rng rng{4242};
+};
+}  // namespace
+
+// ----------------------------------------------------------------- container
+
+TEST(Allocation, BuildsInverseMaps) {
+  a::Allocation alloc(3, 4, {{0, 1}, {1, 1}, {2, 3}, {0, 3}});
+  EXPECT_EQ(alloc.holders(1).size(), 2u);
+  EXPECT_EQ(alloc.holders(0).size(), 0u);
+  EXPECT_TRUE(alloc.box_has(0, 1));
+  EXPECT_TRUE(alloc.box_has(0, 3));
+  EXPECT_FALSE(alloc.box_has(1, 3));
+  alloc.check_integrity();
+}
+
+TEST(Allocation, CountsDuplicates) {
+  a::Allocation alloc(2, 2, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(alloc.duplicate_replicas(), 1u);
+  EXPECT_EQ(alloc.holders(1).size(), 1u);   // deduplicated
+  EXPECT_EQ(alloc.slot_usage(0), 2u);        // but both slots consumed
+}
+
+TEST(Allocation, RejectsOutOfRange) {
+  EXPECT_THROW(a::Allocation(1, 1, {{2, 0}}), std::out_of_range);
+  EXPECT_THROW(a::Allocation(1, 1, {{0, 5}}), std::out_of_range);
+}
+
+TEST(Allocation, ReplicationStats) {
+  a::Allocation alloc(4, 2, {{0, 0}, {1, 0}, {2, 0}, {3, 1}});
+  EXPECT_EQ(alloc.min_replication(), 1u);
+  EXPECT_EQ(alloc.max_replication(), 3u);
+  EXPECT_EQ(alloc.max_slot_usage(), 1u);
+  EXPECT_NEAR(alloc.mean_slot_usage(), 1.0, 1e-12);
+}
+
+TEST(Allocation, VideoDataQuery) {
+  const m::Catalog catalog(3, 2, 8);  // stripes: v0={0,1} v1={2,3} v2={4,5}
+  a::Allocation alloc(2, 6, {{0, 2}, {1, 5}});
+  EXPECT_TRUE(alloc.box_has_video_data(0, catalog, 1));
+  EXPECT_FALSE(alloc.box_has_video_data(0, catalog, 0));
+  EXPECT_FALSE(alloc.box_has_video_data(0, catalog, 2));
+  EXPECT_TRUE(alloc.box_has_video_data(1, catalog, 2));
+}
+
+TEST(Allocation, IntegrityDetectsOverCapacity) {
+  const auto profile = m::CapacityProfile::homogeneous(1, 1.0, 0.5);
+  // 0.5 videos * c=2 -> 1 slot, but two replicas placed.
+  a::Allocation alloc(1, 2, {{0, 0}, {0, 1}});
+  EXPECT_THROW(alloc.check_integrity(&profile, 2), std::logic_error);
+}
+
+// ----------------------------------------------------------------- permutation
+
+TEST(Permutation, ExactReplicationAndBalance) {
+  Fixture fx;
+  const auto alloc =
+      a::PermutationAllocator().allocate(fx.catalog, fx.profile, 4, fx.rng);
+  alloc.check_integrity(&fx.profile, fx.catalog.stripes_per_video());
+  // k*m*c = 320 replicas into 16*20=320 slots: every box exactly full.
+  for (m::BoxId b = 0; b < fx.profile.size(); ++b)
+    EXPECT_EQ(alloc.slot_usage(b), 20u);
+  // Each stripe has <= k holders (== k minus same-box duplicates).
+  for (m::StripeId s = 0; s < fx.catalog.stripe_count(); ++s) {
+    EXPECT_LE(alloc.holders(s).size(), 4u);
+    EXPECT_GE(alloc.holders(s).size(), 1u);
+  }
+}
+
+TEST(Permutation, DifferentSeedsDifferentPlacements) {
+  Fixture fx;
+  p2pvod::util::Rng rng1(1), rng2(2);
+  const auto a1 =
+      a::PermutationAllocator().allocate(fx.catalog, fx.profile, 2, rng1);
+  const auto a2 =
+      a::PermutationAllocator().allocate(fx.catalog, fx.profile, 2, rng2);
+  bool differs = false;
+  for (m::StripeId s = 0; s < fx.catalog.stripe_count() && !differs; ++s) {
+    const auto h1 = a1.holders(s);
+    const auto h2 = a2.holders(s);
+    differs = !std::equal(h1.begin(), h1.end(), h2.begin(), h2.end());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Permutation, SameSeedReproducible) {
+  Fixture fx;
+  p2pvod::util::Rng rng1(9), rng2(9);
+  const auto a1 =
+      a::PermutationAllocator().allocate(fx.catalog, fx.profile, 3, rng1);
+  const auto a2 =
+      a::PermutationAllocator().allocate(fx.catalog, fx.profile, 3, rng2);
+  for (m::StripeId s = 0; s < fx.catalog.stripe_count(); ++s) {
+    const auto h1 = a1.holders(s);
+    const auto h2 = a2.holders(s);
+    ASSERT_TRUE(std::equal(h1.begin(), h1.end(), h2.begin(), h2.end()));
+  }
+}
+
+TEST(Permutation, RejectsOverfull) {
+  Fixture fx;
+  EXPECT_THROW(
+      a::PermutationAllocator().allocate(fx.catalog, fx.profile, 5, fx.rng),
+      std::invalid_argument);
+}
+
+TEST(Permutation, HeterogeneousStorageWeighting) {
+  const m::Catalog catalog(10, 2, 8);
+  const auto profile = m::CapacityProfile::two_class(4, 2, 1.0, 1.0, 1.0, 9.0);
+  p2pvod::util::Rng rng(31);
+  const auto alloc = a::PermutationAllocator().allocate(catalog, profile, 2, rng);
+  alloc.check_integrity(&profile, 2);
+  // Large boxes (18 slots) must hold more than small ones (2 slots) can.
+  EXPECT_LE(alloc.slot_usage(0), 2u);
+  EXPECT_LE(alloc.slot_usage(1), 2u);
+}
+
+// ----------------------------------------------------------------- independent
+
+TEST(Independent, RedrawPolicyFitsCapacity) {
+  Fixture fx;
+  const auto alloc = a::IndependentAllocator(a::FullBoxPolicy::kRedraw)
+                         .allocate(fx.catalog, fx.profile, 4, fx.rng);
+  alloc.check_integrity(&fx.profile, fx.catalog.stripes_per_video());
+}
+
+TEST(Independent, LoadsAreUnbalanced) {
+  // Unlike permutation, independent placement deviates from the mean; with
+  // replicas == slots some box must overflow its mean share.
+  const m::Catalog catalog(100, 4, 8);
+  const auto profile = m::CapacityProfile::homogeneous(50, 1.5, 16.0);
+  p2pvod::util::Rng rng(77);
+  const auto alloc = a::IndependentAllocator(a::FullBoxPolicy::kRedraw)
+                         .allocate(catalog, profile, 4, rng);
+  // mean load = 4*400/50 = 32 of 64 slots; max should exceed the mean.
+  EXPECT_GT(alloc.max_slot_usage(), 32u);
+}
+
+TEST(Independent, FailPolicyThrowsWhenSlotsTight) {
+  // k=2 replicas of 20 stripes exactly fill the 40 slots: independent draws
+  // hit a full box long before the last replica (deterministic seed).
+  const m::Catalog catalog(10, 2, 8);
+  const auto profile = m::CapacityProfile::homogeneous(5, 1.0, 4.0);
+  p2pvod::util::Rng rng(13);
+  EXPECT_THROW(a::IndependentAllocator(a::FullBoxPolicy::kFail)
+                   .allocate(catalog, profile, 2, rng),
+               std::runtime_error);
+}
+
+TEST(Independent, RejectsOverfull) {
+  Fixture fx;
+  EXPECT_THROW(a::IndependentAllocator().allocate(fx.catalog, fx.profile, 6,
+                                                  fx.rng),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- round robin
+
+TEST(RoundRobin, DeterministicPlacement) {
+  Fixture fx;
+  p2pvod::util::Rng rng1(1), rng2(999);
+  const auto a1 =
+      a::RoundRobinAllocator().allocate(fx.catalog, fx.profile, 3, rng1);
+  const auto a2 =
+      a::RoundRobinAllocator().allocate(fx.catalog, fx.profile, 3, rng2);
+  for (m::StripeId s = 0; s < fx.catalog.stripe_count(); ++s) {
+    const auto h1 = a1.holders(s);
+    const auto h2 = a2.holders(s);
+    ASSERT_TRUE(std::equal(h1.begin(), h1.end(), h2.begin(), h2.end()));
+  }
+}
+
+TEST(RoundRobin, ExactlyKDistinctHolders) {
+  Fixture fx;
+  const auto alloc =
+      a::RoundRobinAllocator().allocate(fx.catalog, fx.profile, 3, fx.rng);
+  for (m::StripeId s = 0; s < fx.catalog.stripe_count(); ++s)
+    EXPECT_EQ(alloc.holders(s).size(), 3u);
+  EXPECT_EQ(alloc.duplicate_replicas(), 0u);
+}
+
+TEST(RoundRobin, PerfectlyBalancedLoad) {
+  Fixture fx;
+  const auto alloc =
+      a::RoundRobinAllocator().allocate(fx.catalog, fx.profile, 4, fx.rng);
+  for (m::BoxId b = 0; b < fx.profile.size(); ++b)
+    EXPECT_EQ(alloc.slot_usage(b), 20u);
+}
+
+TEST(RoundRobin, RejectsKAboveN) {
+  Fixture fx;
+  const m::Catalog small(2, 4, 16);
+  EXPECT_THROW(
+      a::RoundRobinAllocator().allocate(small, fx.profile, 17, fx.rng),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- full replication
+
+TEST(FullReplication, EveryBoxHasEveryVideo) {
+  const m::Catalog catalog(12, 4, 16);  // m = 12 <= d*c = 20
+  Fixture fx;
+  const auto alloc = a::FullReplicationAllocator().allocate(
+      catalog, fx.profile, /*k ignored*/ 1, fx.rng);
+  for (m::BoxId b = 0; b < fx.profile.size(); ++b) {
+    for (m::VideoId v = 0; v < catalog.video_count(); ++v)
+      EXPECT_TRUE(alloc.box_has_video_data(b, catalog, v));
+  }
+}
+
+TEST(FullReplication, StripeIndexFollowsBoxClass) {
+  const m::Catalog catalog(5, 4, 16);
+  Fixture fx;
+  const auto alloc =
+      a::FullReplicationAllocator().allocate(catalog, fx.profile, 1, fx.rng);
+  // Box b stores stripe index b mod c of every video.
+  for (m::BoxId b = 0; b < fx.profile.size(); ++b) {
+    for (m::VideoId v = 0; v < catalog.video_count(); ++v) {
+      EXPECT_TRUE(alloc.box_has(b, catalog.stripe_id(v, b % 4)));
+    }
+  }
+}
+
+TEST(FullReplication, MaxCatalogBound) {
+  Fixture fx;
+  EXPECT_EQ(a::FullReplicationAllocator::max_catalog(fx.profile, 4), 20u);
+  const m::Catalog too_big(21, 4, 16);
+  EXPECT_THROW(
+      a::FullReplicationAllocator().allocate(too_big, fx.profile, 1, fx.rng),
+      std::invalid_argument);
+}
+
+TEST(FullReplication, HoldersSpreadAcrossClasses) {
+  const m::Catalog catalog(3, 4, 16);
+  Fixture fx;  // n = 16 boxes, c = 4 -> 4 holders per stripe
+  const auto alloc =
+      a::FullReplicationAllocator().allocate(catalog, fx.profile, 1, fx.rng);
+  for (m::StripeId s = 0; s < catalog.stripe_count(); ++s)
+    EXPECT_EQ(alloc.holders(s).size(), 4u);
+}
+
+// ----------------------------------------------------------------- factory
+
+TEST(Factory, MakesEveryScheme) {
+  for (const auto scheme :
+       {a::Scheme::kPermutation, a::Scheme::kIndependent,
+        a::Scheme::kRoundRobin, a::Scheme::kFullReplication}) {
+    const auto allocator = a::make_allocator(scheme);
+    ASSERT_NE(allocator, nullptr);
+    EXPECT_EQ(allocator->name(), a::scheme_name(scheme));
+  }
+}
+
+TEST(Factory, AllSchemesProduceValidAllocations) {
+  const m::Catalog catalog(8, 4, 16);
+  const auto profile = m::CapacityProfile::homogeneous(8, 1.5, 4.0);
+  for (const auto scheme :
+       {a::Scheme::kPermutation, a::Scheme::kIndependent,
+        a::Scheme::kRoundRobin, a::Scheme::kFullReplication}) {
+    p2pvod::util::Rng rng(3);
+    const auto alloc =
+        a::make_allocator(scheme)->allocate(catalog, profile, 2, rng);
+    alloc.check_integrity(&profile, 4);
+    for (m::StripeId s = 0; s < catalog.stripe_count(); ++s)
+      EXPECT_GE(alloc.holders(s).size(), 1u) << a::scheme_name(scheme);
+  }
+}

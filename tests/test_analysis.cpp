@@ -1,0 +1,462 @@
+// Unit tests for src/analysis: Theorem 1/2 formula transcription, the
+// first-moment evaluator, obstruction probes, the §1.3 impossibility
+// certificate, and the Monte-Carlo calibrator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/permutation.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/calibrate.hpp"
+#include "analysis/first_moment.hpp"
+#include "analysis/impossibility.hpp"
+#include "analysis/obstruction.hpp"
+#include "util/logmath.hpp"
+
+namespace an = p2pvod::analysis;
+namespace m = p2pvod::model;
+namespace a = p2pvod::alloc;
+
+constexpr double kE = 2.718281828459045;
+
+// ----------------------------------------------------------------- theorem 1
+
+TEST(Theorem1, MinCIsSmallestIntegerAboveBound) {
+  // u=1.5, µ=1.2: (2·1.44−1)/0.5 = 3.76 -> c = 4.
+  EXPECT_EQ(an::Theorem1::min_c(1.5, 1.2), 4u);
+  // Exactly integral boundary: u=2, µ=1: (2−1)/1 = 1 -> strict: c = 2.
+  EXPECT_EQ(an::Theorem1::min_c(2.0, 1.0), 2u);
+  EXPECT_EQ(an::Theorem1::min_c(0.9, 1.2), 0u);  // below threshold
+}
+
+TEST(Theorem1, RecommendedCDoublesTheBound) {
+  // c = ⌈2(2µ²−1)/(u−1)⌉ = ⌈7.52⌉ = 8 for u=1.5, µ=1.2.
+  EXPECT_EQ(an::Theorem1::recommended_c(1.5, 1.2), 8u);
+  EXPECT_GE(an::Theorem1::recommended_c(1.5, 1.2),
+            an::Theorem1::min_c(1.5, 1.2));
+}
+
+TEST(Theorem1, NuMatchesHandComputation) {
+  // ν = 1/(c+2µ²−1) − 1/(uc); c=8, µ=1.2, u=1.5:
+  // 1/(8+1.88) − 1/12 = 0.101214... − 0.083333... = 0.0178...
+  const double nu = an::Theorem1::nu(1.5, 1.2, 8);
+  EXPECT_NEAR(nu, 1.0 / 9.88 - 1.0 / 12.0, 1e-12);
+  EXPECT_GT(nu, 0.0);
+}
+
+TEST(Theorem1, NuNegativeWhenCTooSmall) {
+  // c=3 < min_c=4 for (u=1.5, µ=1.2): uc = 4.5 < c+2µ²−1 = 4.88.
+  EXPECT_LT(an::Theorem1::nu(1.5, 1.2, 3), 0.0);
+}
+
+TEST(Theorem1, UPrimeFloors) {
+  EXPECT_NEAR(an::Theorem1::u_prime(1.5, 8), 12.0 / 8.0, 1e-12);
+  EXPECT_NEAR(an::Theorem1::u_prime(1.3, 3), 3.0 / 3.0, 1e-12);  // ⌊3.9⌋/3
+}
+
+TEST(Theorem1, DPrimeTakesMax) {
+  EXPECT_NEAR(an::Theorem1::d_prime(4.0, 1.5), 4.0, 1e-12);
+  EXPECT_NEAR(an::Theorem1::d_prime(1.0, 1.5), kE, 1e-12);
+  EXPECT_NEAR(an::Theorem1::d_prime(1.0, 5.0), 5.0, 1e-12);
+}
+
+TEST(Theorem1, KBoundHandComputation) {
+  // k = 5/ν · log d′ / log u′ with c=8, u=1.5, d=4, µ=1.2.
+  const double nu = an::Theorem1::nu(1.5, 1.2, 8);
+  const double expected = 5.0 / nu * std::log(4.0) / std::log(1.5);
+  EXPECT_NEAR(an::Theorem1::k_bound(1.5, 4.0, 1.2, 8), expected, 1e-9);
+}
+
+TEST(Theorem1, KBoundInfiniteWhenInvalid) {
+  EXPECT_TRUE(std::isinf(an::Theorem1::k_bound(1.5, 4.0, 1.2, 3)));
+  // u'=1 (u=1.3, c=3 -> ⌊3.9⌋/3 = 1): log u' = 0.
+  EXPECT_TRUE(std::isinf(an::Theorem1::k_bound(1.3, 4.0, 1.0, 3)));
+}
+
+TEST(Theorem1, ProofBoundAtLeastSimpleBound) {
+  // k_proof uses max{5, log_{u'}(e⁴d'u')} >= 5·log_{u'}d'/... not directly
+  // comparable, but both must be positive and finite in the valid regime.
+  const double simple = an::Theorem1::k_bound(1.5, 4.0, 1.2, 8);
+  const double proof = an::Theorem1::k_bound_proof(1.5, 4.0, 1.2, 8);
+  EXPECT_GT(simple, 0.0);
+  EXPECT_GT(proof, 0.0);
+  EXPECT_TRUE(std::isfinite(proof));
+}
+
+TEST(Theorem1, EvaluateAssemblesConsistently) {
+  const auto b = an::Theorem1::evaluate({1.5, 4.0, 1.2});
+  EXPECT_TRUE(b.valid);
+  EXPECT_EQ(b.c, 8u);
+  EXPECT_EQ(b.k, static_cast<std::uint32_t>(std::ceil(b.k_real)));
+  EXPECT_GT(b.catalog(10000), 0u);
+  EXPECT_EQ(b.catalog(10000),
+            static_cast<std::uint32_t>(4.0 * 10000 / b.k));
+}
+
+TEST(Theorem1, EvaluateInvalidBelowThreshold) {
+  const auto b = an::Theorem1::evaluate({0.9, 4.0, 1.2});
+  EXPECT_FALSE(b.valid);
+  EXPECT_EQ(b.catalog(1000), 0u);
+}
+
+TEST(Theorem1, CatalogLinearInN) {
+  const auto b = an::Theorem1::evaluate({1.5, 4.0, 1.2});
+  const auto m1 = b.catalog(10000);
+  const auto m2 = b.catalog(20000);
+  ASSERT_GT(m1, 0u);
+  // Exactly d·n/k up to integer truncation (k ~ 1000 here, so m is small
+  // and truncation is visible; allow one-unit slack on each side).
+  EXPECT_NEAR(static_cast<double>(m2) / m1, 2.0, 0.06);
+}
+
+TEST(Theorem1, ClosedFormVanishesAsCube) {
+  // m(u) ~ (u-1)³ as u -> 1 (Conclusion): ratio m(1+2ε)/m(1+ε) -> 8.
+  const double eps = 1e-3;
+  const double m1 = an::Theorem1::catalog_closed_form(100000, 1.0 + eps, 4.0,
+                                                      1.2);
+  const double m2 = an::Theorem1::catalog_closed_form(100000, 1.0 + 2 * eps,
+                                                      4.0, 1.2);
+  EXPECT_GT(m1, 0.0);
+  EXPECT_NEAR(m2 / m1, 8.0, 0.1);
+}
+
+TEST(Theorem1, Lemma2ExpansionFormula) {
+  // i=100, i1=2, c=8, µ=1.2: (100 − 9.88·2)/(8+0.88) = 80.24/8.88.
+  EXPECT_NEAR(an::Theorem1::lemma2_expansion(100, 2, 8, 1.2), 80.24 / 8.88,
+              1e-9);
+}
+
+TEST(Theorem1, KappaAndDelta) {
+  const double nu = an::Theorem1::nu(1.5, 1.2, 8);
+  EXPECT_NEAR(an::Theorem1::kappa(1.5, 1.2, 8, 100), nu * 100 - 2.0, 1e-12);
+  EXPECT_NEAR(an::Theorem1::delta(1.5, 4.0, 8), 4.0 * 4.0 * kE * kE / 1.5,
+              1e-9);
+}
+
+// ----------------------------------------------------------------- theorem 2
+
+TEST(Theorem2, MinAndRecommendedC) {
+  // u*=1.5, µ=1.1: 4µ⁴/0.5 = 11.712... -> min_c = 12; 10µ⁴/0.5 = 29.28 -> 30.
+  EXPECT_EQ(an::Theorem2::min_c(1.5, 1.1), 12u);
+  EXPECT_EQ(an::Theorem2::recommended_c(1.5, 1.1), 30u);
+}
+
+TEST(Theorem2, NuAndUPrime) {
+  const double mu4 = std::pow(1.1, 4.0);
+  const double nu = an::Theorem2::nu(1.1, 30);
+  EXPECT_NEAR(nu, 1.0 / (30 + 2 * mu4 - 1) - 1.0 / (30 + 3 * mu4), 1e-12);
+  EXPECT_GT(nu, 0.0);
+  EXPECT_NEAR(an::Theorem2::u_prime(1.1, 30), (30 + 3 * mu4) / 30.0, 1e-12);
+  EXPECT_GT(an::Theorem2::u_prime(1.1, 30), 1.0);
+}
+
+TEST(Theorem2, EvaluateValidInRange) {
+  const auto b = an::Theorem2::evaluate({1.5, 4.0, 1.1});
+  EXPECT_TRUE(b.valid);
+  EXPECT_EQ(b.c, 30u);
+  EXPECT_GT(b.k, 0u);
+  EXPECT_GT(b.catalog(100000), 0u);
+}
+
+TEST(Theorem2, ClosedFormPositiveOnlyAboveOne) {
+  EXPECT_GT(an::Theorem2::catalog_closed_form(1000, 1.5, 4.0, 1.1), 0.0);
+  EXPECT_EQ(an::Theorem2::catalog_closed_form(1000, 1.0, 4.0, 1.1), 0.0);
+}
+
+TEST(Theorem2, CatalogShrinksWithMu) {
+  const double loose = an::Theorem2::catalog_closed_form(10000, 1.5, 4, 1.05);
+  const double tight = an::Theorem2::catalog_closed_form(10000, 1.5, 4, 1.3);
+  EXPECT_GT(loose, tight);
+}
+
+// ----------------------------------------------------------------- first moment
+
+namespace {
+an::FirstMomentParams base_params() {
+  an::FirstMomentParams p;
+  p.n = 200;
+  p.c = 8;
+  p.u = 1.5;
+  p.d = 4.0;
+  p.mu = 1.2;
+  p.k = 30;
+  p.m = static_cast<std::uint32_t>(p.d * p.n / p.k);
+  return p;
+}
+}  // namespace
+
+TEST(FirstMoment, TermZeroBelowNuFraction) {
+  const auto p = base_params();
+  // i1 = 1, i large: i1 <= ν i -> -inf (Lemma 4 case 1).
+  EXPECT_TRUE(std::isinf(an::FirstMoment::log_term(p, 1000, 1)));
+  EXPECT_LT(an::FirstMoment::log_term(p, 1000, 1), 0.0);
+}
+
+TEST(FirstMoment, TermMatchesHandFormula) {
+  const auto p = base_params();
+  const double up = an::Theorem1::u_prime(p.u, p.c);
+  const double unc = up * p.n * p.c;
+  const std::uint64_t i = 40, i1 = 35;
+  const double expected = 40.0 * std::log(unc * kE / 40.0) +
+                          static_cast<double>(p.k) * 35.0 *
+                              std::log(40.0 / unc);
+  EXPECT_NEAR(an::FirstMoment::log_term(p, i, i1), expected, 1e-9);
+}
+
+TEST(FirstMoment, MultisetCountFormula) {
+  const auto p = base_params();
+  const double expected =
+      p2pvod::util::log_binomial(static_cast<std::int64_t>(p.m) * p.c, 5) +
+      p2pvod::util::log_binomial(9, 4);
+  EXPECT_NEAR(an::FirstMoment::log_multiset_count(p, 10, 5), expected, 1e-9);
+}
+
+TEST(FirstMoment, BoundDecreasesInK) {
+  auto p = base_params();
+  p.k = 20;
+  p.m = 40;
+  const double loose = an::FirstMoment::log_union_bound(p);
+  p.k = 40;
+  const double tight = an::FirstMoment::log_union_bound(p);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(FirstMoment, BoundVanishesForLargeK) {
+  // At n=200 the union bound needs k in the hundreds (the theorem's k is
+  // Θ(ν⁻¹ log d′) with a large constant; the bound is asymptotic in n).
+  auto p = base_params();
+  p.k = 300;
+  p.m = static_cast<std::uint32_t>(p.d * p.n / p.k);
+  EXPECT_LT(an::FirstMoment::log_union_bound(p), 0.0);
+  EXPECT_LT(an::FirstMoment::probability_bound(p), 1.0);
+}
+
+TEST(FirstMoment, ProbabilityBoundClampedToOne) {
+  auto p = base_params();
+  p.k = 1;  // hopeless replication: bound blows past 1
+  p.m = static_cast<std::uint32_t>(p.d * p.n);
+  EXPECT_EQ(an::FirstMoment::probability_bound(p), 1.0);
+}
+
+TEST(FirstMoment, MinKForBoundFindsThreshold) {
+  auto p = base_params();
+  const auto k = an::FirstMoment::min_k_for_bound(p, 0.01, 1, 600);
+  ASSERT_GT(k, 0u);
+  p.k = k;
+  p.m = std::max(1u, static_cast<std::uint32_t>(p.d * p.n / k));
+  EXPECT_LE(an::FirstMoment::log_union_bound(p), std::log(0.01) + 1e-9);
+  // And k-1 must not satisfy it (minimality).
+  if (k > 1) {
+    p.k = k - 1;
+    p.m = std::max(1u, static_cast<std::uint32_t>(p.d * p.n / (k - 1)));
+    EXPECT_GT(an::FirstMoment::log_union_bound(p), std::log(0.01));
+  }
+}
+
+TEST(FirstMoment, RejectsZeroParams) {
+  an::FirstMomentParams p;
+  p.n = 0;
+  EXPECT_THROW((void)an::FirstMoment::log_union_bound(p),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- obstruction
+
+TEST(Obstruction, BurstFeasibleWithAmpleCapacity) {
+  const m::Catalog catalog(4, 2, 8);
+  const auto profile = m::CapacityProfile::homogeneous(6, 4.0, 4.0);
+  p2pvod::util::Rng rng(1);
+  const auto alloc =
+      a::PermutationAllocator().allocate(catalog, profile, 3, rng);
+  const std::vector<m::VideoId> demands(6, 0);  // everyone watches video 0
+  EXPECT_FALSE(
+      an::ObstructionSearch::probe_burst(catalog, profile, alloc, demands)
+          .has_value());
+}
+
+TEST(Obstruction, BurstInfeasibleWhenUploadStarved) {
+  const m::Catalog catalog(4, 2, 8);
+  const auto profile = m::CapacityProfile::homogeneous(6, 0.5, 4.0);
+  p2pvod::util::Rng rng(1);
+  const auto alloc =
+      a::PermutationAllocator().allocate(catalog, profile, 2, rng);
+  // All six boxes burst on all videos' worth of demand: u=0.5 -> 1 slot each,
+  // 6 slots total, but ~6*2=12 stripe requests.
+  std::vector<m::VideoId> demands(6);
+  for (m::BoxId b = 0; b < 6; ++b) demands[b] = b % 4;
+  const auto witness =
+      an::ObstructionSearch::probe_burst(catalog, profile, alloc, demands);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_GT(witness->unserved_requests, 0u);
+}
+
+TEST(Obstruction, AvoiderAssignmentAvoidsLocalData) {
+  const m::Catalog catalog(8, 2, 8);
+  const auto profile = m::CapacityProfile::homogeneous(4, 1.0, 8.0);
+  p2pvod::util::Rng rng(3);
+  const auto alloc =
+      a::PermutationAllocator().allocate(catalog, profile, 2, rng);
+  const auto demands =
+      an::ObstructionSearch::avoider_assignment(catalog, alloc, rng);
+  for (m::BoxId b = 0; b < 4; ++b) {
+    if (demands[b] == m::kInvalidVideo) continue;
+    EXPECT_FALSE(alloc.box_has_video_data(b, catalog, demands[b]));
+  }
+}
+
+TEST(Obstruction, ExhaustiveFindsColdStartObstruction) {
+  // 2 boxes, 2 videos, c=1, k=1: video stripes on distinct boxes with u=0
+  // uploads nothing -> any cross demand is an obstruction.
+  const m::Catalog catalog(2, 1, 4);
+  const auto profile = m::CapacityProfile::homogeneous(2, 0.0, 1.0);
+  a::Allocation alloc(2, 2, {{0, 0}, {1, 1}});
+  const auto witness =
+      an::ObstructionSearch::exhaustive(catalog, profile, alloc);
+  ASSERT_TRUE(witness.has_value());
+}
+
+TEST(Obstruction, ExhaustiveCleanWhenSelfSufficient) {
+  // Every box holds every stripe: demands never need the network.
+  const m::Catalog catalog(2, 1, 4);
+  const auto profile = m::CapacityProfile::homogeneous(2, 1.0, 2.0);
+  a::Allocation alloc(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  EXPECT_FALSE(an::ObstructionSearch::exhaustive(catalog, profile, alloc)
+                   .has_value());
+}
+
+TEST(Obstruction, ExhaustiveRespectsBudget) {
+  const m::Catalog catalog(10, 1, 4);
+  const auto profile = m::CapacityProfile::homogeneous(20, 1.0, 10.0);
+  a::Allocation alloc(20, 10, {{0, 0}});
+  EXPECT_THROW((void)an::ObstructionSearch::exhaustive(catalog, profile,
+                                                       alloc, 1000),
+               std::invalid_argument);
+}
+
+TEST(Obstruction, MonteCarloCountsInfeasibleBursts) {
+  const m::Catalog catalog(6, 2, 8);
+  const auto profile = m::CapacityProfile::homogeneous(6, 0.5, 2.0);
+  p2pvod::util::Rng rng(7);
+  const auto alloc =
+      a::PermutationAllocator().allocate(catalog, profile, 2, rng);
+  const auto result =
+      an::ObstructionSearch::monte_carlo(catalog, profile, alloc, 20, rng);
+  EXPECT_EQ(result.trials, 20u);
+  EXPECT_GT(result.infeasible, 0u);  // u=0.5 cannot serve full bursts
+  EXPECT_TRUE(result.witness.has_value());
+}
+
+// ----------------------------------------------------------------- impossibility
+
+TEST(Impossibility, CertificateAppliesBelowThreshold) {
+  const m::Catalog catalog(9, 2, 8);  // m=9 > d_max·c = 8
+  const auto profile = m::CapacityProfile::homogeneous(10, 0.8, 4.0);
+  const auto cert = an::ImpossibilityAnalyzer::analyze(profile, catalog);
+  EXPECT_TRUE(cert.applies);
+  EXPECT_EQ(cert.catalog_limit, 8u);
+  EXPECT_NEAR(cert.aggregate_upload, 8.0, 1e-12);
+  EXPECT_NE(cert.explanation.find("must stall"), std::string::npos);
+}
+
+TEST(Impossibility, NotApplicableAboveThreshold) {
+  const m::Catalog catalog(100, 2, 8);
+  const auto profile = m::CapacityProfile::homogeneous(10, 1.5, 4.0);
+  EXPECT_FALSE(an::ImpossibilityAnalyzer::analyze(profile, catalog).applies);
+}
+
+TEST(Impossibility, NotApplicableInConstantRegime) {
+  const m::Catalog catalog(8, 2, 8);  // m = d_max·c exactly
+  const auto profile = m::CapacityProfile::homogeneous(10, 0.8, 4.0);
+  const auto cert = an::ImpossibilityAnalyzer::analyze(profile, catalog);
+  EXPECT_FALSE(cert.applies);
+}
+
+TEST(Impossibility, ConstructsAvoiderWhenCatalogLarge) {
+  // d=8, c=2: a box holds at most 16 stripes, so with m=20 videos every box
+  // necessarily misses at least four videos entirely.
+  const m::Catalog catalog(20, 2, 8);
+  const auto profile = m::CapacityProfile::homogeneous(5, 0.8, 8.0);
+  p2pvod::util::Rng rng(5);
+  const auto alloc =
+      a::PermutationAllocator().allocate(catalog, profile, 1, rng);
+  const auto demands =
+      an::ImpossibilityAnalyzer::construct_avoider_demands(catalog, alloc);
+  ASSERT_TRUE(demands.has_value());
+  for (m::BoxId b = 0; b < 5; ++b)
+    EXPECT_FALSE(alloc.box_has_video_data(b, catalog, (*demands)[b]));
+}
+
+TEST(Impossibility, AvoiderImpossibleWhenFullyReplicated) {
+  const m::Catalog catalog(2, 1, 4);
+  a::Allocation alloc(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  EXPECT_FALSE(
+      an::ImpossibilityAnalyzer::construct_avoider_demands(catalog, alloc)
+          .has_value());
+}
+
+// ----------------------------------------------------------------- calibrate
+
+TEST(Calibrate, TrialSpecCatalogIdentity) {
+  an::TrialSpec spec;
+  spec.n = 100;
+  spec.d = 4.0;
+  spec.k = 8;
+  EXPECT_EQ(spec.catalog(), 50u);
+  spec.m_override = 7;
+  EXPECT_EQ(spec.catalog(), 7u);
+}
+
+TEST(Calibrate, GenerousSystemSucceeds) {
+  an::TrialSpec spec;
+  spec.n = 24;
+  spec.u = 3.0;
+  spec.d = 4.0;
+  spec.mu = 1.5;
+  spec.c = 4;
+  spec.k = 8;
+  spec.duration = 12;
+  spec.rounds = 36;
+  EXPECT_TRUE(an::Calibrator::run_trial(spec, 42));
+}
+
+TEST(Calibrate, StarvedSystemFails) {
+  an::TrialSpec spec;
+  spec.n = 24;
+  spec.u = 0.5;  // below threshold
+  spec.d = 2.0;
+  spec.mu = 1.5;
+  spec.c = 4;
+  spec.k = 2;
+  spec.duration = 12;
+  spec.rounds = 36;
+  spec.suite = an::WorkloadSuite::kAvoider;
+  EXPECT_FALSE(an::Calibrator::run_trial(spec, 42));
+}
+
+TEST(Calibrate, SuccessRateBounds) {
+  an::TrialSpec spec;
+  spec.n = 16;
+  spec.u = 3.0;
+  spec.d = 4.0;
+  spec.mu = 1.3;
+  spec.c = 4;
+  spec.k = 8;
+  spec.duration = 8;
+  spec.rounds = 24;
+  const auto rate = an::Calibrator::success_rate(spec, 6, 99);
+  EXPECT_GE(rate.estimate, 0.0);
+  EXPECT_LE(rate.estimate, 1.0);
+  EXPECT_LE(rate.lower, rate.estimate);
+  EXPECT_GE(rate.upper, rate.estimate);
+}
+
+TEST(Calibrate, SuiteNames) {
+  EXPECT_STREQ(an::suite_name(an::WorkloadSuite::kAvoider), "avoider");
+  EXPECT_STREQ(an::suite_name(an::WorkloadSuite::kFull), "full");
+}
+
+TEST(Calibrate, MinKRejectsBadRange) {
+  an::TrialSpec spec;
+  EXPECT_THROW((void)an::Calibrator::min_feasible_k(spec, 0, 4, 1.0, 1, 1),
+               std::invalid_argument);
+}

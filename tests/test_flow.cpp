@@ -1,0 +1,404 @@
+// Unit tests for src/flow: Dinic max-flow, Hopcroft-Karp b-matching, the
+// connection-problem reduction, Hall checking, incremental matching.
+#include <gtest/gtest.h>
+
+#include "flow/bipartite.hpp"
+#include "flow/dinic.hpp"
+#include "flow/graph.hpp"
+#include "flow/hall.hpp"
+#include "flow/hopcroft_karp.hpp"
+#include "flow/matcher.hpp"
+#include "util/rng.hpp"
+
+namespace f = p2pvod::flow;
+
+// ----------------------------------------------------------------- network
+
+TEST(FlowNetwork, EdgePairing) {
+  f::FlowNetwork net(3);
+  const auto e = net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.residual(e), 5);
+  EXPECT_EQ(net.residual(e ^ 1u), 0);
+  net.push(e, 3);
+  EXPECT_EQ(net.residual(e), 2);
+  EXPECT_EQ(net.flow_on(e), 3);
+  net.reset_flow();
+  EXPECT_EQ(net.flow_on(e), 0);
+}
+
+TEST(FlowNetwork, RejectsBadEdges) {
+  f::FlowNetwork net(2);
+  EXPECT_THROW(net.add_edge(0, 5, 1), std::out_of_range);
+  EXPECT_THROW(net.add_edge(0, 1, -1), std::invalid_argument);
+}
+
+TEST(FlowNetwork, AddNodesReturnsFirstId) {
+  f::FlowNetwork net(2);
+  EXPECT_EQ(net.add_nodes(3), 2u);
+  EXPECT_EQ(net.node_count(), 5u);
+}
+
+// ----------------------------------------------------------------- dinic
+
+TEST(Dinic, SingleEdge) {
+  f::FlowNetwork net(2);
+  net.add_edge(0, 1, 7);
+  EXPECT_EQ(f::Dinic(net).max_flow(0, 1), 7);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  f::FlowNetwork net(3);
+  net.add_edge(0, 1, 10);
+  net.add_edge(1, 2, 4);
+  EXPECT_EQ(f::Dinic(net).max_flow(0, 2), 4);
+}
+
+TEST(Dinic, ParallelPathsSum) {
+  f::FlowNetwork net(4);
+  net.add_edge(0, 1, 3);
+  net.add_edge(1, 3, 3);
+  net.add_edge(0, 2, 5);
+  net.add_edge(2, 3, 5);
+  EXPECT_EQ(f::Dinic(net).max_flow(0, 3), 8);
+}
+
+TEST(Dinic, ClassicTextbookInstance) {
+  // CLRS-style 6-node instance with known max flow 23.
+  f::FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(f::Dinic(net).max_flow(0, 5), 23);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  f::FlowNetwork net(4);
+  net.add_edge(0, 1, 5);
+  net.add_edge(2, 3, 5);
+  EXPECT_EQ(f::Dinic(net).max_flow(0, 3), 0);
+}
+
+TEST(Dinic, MinCutSeparatesSourceFromSink) {
+  f::FlowNetwork net(4);
+  net.add_edge(0, 1, 2);
+  net.add_edge(1, 2, 1);  // bottleneck
+  net.add_edge(2, 3, 2);
+  f::Dinic dinic(net);
+  EXPECT_EQ(dinic.max_flow(0, 3), 1);
+  const auto side = dinic.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(Dinic, FlowConservationAtInternalNodes) {
+  f::FlowNetwork net(5);
+  std::vector<f::EdgeId> edges;
+  edges.push_back(net.add_edge(0, 1, 4));
+  edges.push_back(net.add_edge(0, 2, 4));
+  edges.push_back(net.add_edge(1, 3, 3));
+  edges.push_back(net.add_edge(2, 3, 2));
+  edges.push_back(net.add_edge(3, 4, 6));
+  f::Dinic dinic(net);
+  const auto total = dinic.max_flow(0, 4);
+  EXPECT_EQ(total, 5);
+  // in(3) == out(3)
+  const auto in3 = net.flow_on(edges[2]) + net.flow_on(edges[3]);
+  EXPECT_EQ(in3, net.flow_on(edges[4]));
+}
+
+// ----------------------------------------------------------------- hk
+
+TEST(HopcroftKarp, PerfectMatchingUnitCaps) {
+  const std::vector<std::vector<std::uint32_t>> adj{{0, 1}, {0}, {1, 2}};
+  f::HopcroftKarp hk(adj, {1, 1, 1});
+  EXPECT_EQ(hk.solve(), 3u);
+  const auto& match = hk.assignment();
+  EXPECT_EQ(match[1], 0);  // request 1 can only use box 0
+}
+
+TEST(HopcroftKarp, RespectsBoxCapacity) {
+  // Three requests all wanting box 0 with capacity 2.
+  const std::vector<std::vector<std::uint32_t>> adj{{0}, {0}, {0}};
+  f::HopcroftKarp hk(adj, {2});
+  EXPECT_EQ(hk.solve(), 2u);
+}
+
+TEST(HopcroftKarp, AugmentsThroughSaturatedBoxes) {
+  // r0 -> {b0}; r1 -> {b0, b1}. Greedy could give r1 b0 and starve r0;
+  // augmenting must fix it.
+  const std::vector<std::vector<std::uint32_t>> adj{{0}, {0, 1}};
+  f::HopcroftKarp hk(adj, {1, 1});
+  EXPECT_EQ(hk.solve(), 2u);
+}
+
+TEST(HopcroftKarp, EmptyCandidatesUnmatched) {
+  const std::vector<std::vector<std::uint32_t>> adj{{}, {0}};
+  f::HopcroftKarp hk(adj, {1});
+  EXPECT_EQ(hk.solve(), 1u);
+  EXPECT_EQ(hk.assignment()[0], -1);
+}
+
+TEST(HopcroftKarp, ZeroCapacityBoxUnusable) {
+  const std::vector<std::vector<std::uint32_t>> adj{{0}};
+  f::HopcroftKarp hk(adj, {0});
+  EXPECT_EQ(hk.solve(), 0u);
+}
+
+// ----------------------------------------------------------------- problem
+
+namespace {
+f::ConnectionProblem random_problem(p2pvod::util::Rng& rng,
+                                    std::uint32_t boxes,
+                                    std::uint32_t requests,
+                                    std::uint32_t max_capacity,
+                                    double edge_prob) {
+  f::ConnectionProblem problem(boxes);
+  for (std::uint32_t b = 0; b < boxes; ++b) {
+    problem.set_capacity(
+        b, static_cast<std::uint32_t>(rng.next_below(max_capacity + 1)));
+  }
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    std::vector<std::uint32_t> cands;
+    for (std::uint32_t b = 0; b < boxes; ++b) {
+      if (rng.next_bool(edge_prob)) cands.push_back(b);
+    }
+    problem.add_request(std::move(cands));
+  }
+  return problem;
+}
+}  // namespace
+
+TEST(ConnectionProblem, TrivialComplete) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.set_capacity(1, 1);
+  p.add_request({0});
+  p.add_request({1});
+  const auto result = p.solve();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 1);
+}
+
+TEST(ConnectionProblem, InfeasibleWhenOversubscribed) {
+  f::ConnectionProblem p(1);
+  p.set_capacity(0, 1);
+  p.add_request({0});
+  p.add_request({0});
+  const auto result = p.solve();
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.served, 1u);
+}
+
+TEST(ConnectionProblem, EnginesAgreeOnRandomInstances) {
+  p2pvod::util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto problem = random_problem(rng, 8, 12, 3, 0.3);
+    const auto dinic = problem.solve(f::Engine::kDinic);
+    const auto hk = problem.solve(f::Engine::kHopcroftKarp);
+    ASSERT_EQ(dinic.served, hk.served) << "trial " << trial;
+  }
+}
+
+TEST(ConnectionProblem, AssignmentRespectsCapacities) {
+  p2pvod::util::Rng rng(88);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto problem = random_problem(rng, 6, 15, 2, 0.4);
+    for (const auto engine : {f::Engine::kDinic, f::Engine::kHopcroftKarp}) {
+      const auto result = problem.solve(engine);
+      const auto degrees = result.box_degrees(problem.box_count());
+      for (std::uint32_t b = 0; b < problem.box_count(); ++b)
+        EXPECT_LE(degrees[b], problem.capacity(b));
+      // Assignments must be candidates.
+      for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+        if (result.assignment[r] < 0) continue;
+        const auto& cands = problem.candidates(r);
+        EXPECT_NE(std::find(cands.begin(), cands.end(),
+                            static_cast<std::uint32_t>(result.assignment[r])),
+                  cands.end());
+      }
+    }
+  }
+}
+
+TEST(ConnectionProblem, WitnessOnlyWhenInfeasible) {
+  f::ConnectionProblem feasible(2);
+  feasible.set_capacity(0, 2);
+  feasible.add_request({0});
+  EXPECT_FALSE(feasible.infeasibility_witness().has_value());
+
+  f::ConnectionProblem infeasible(1);
+  infeasible.set_capacity(0, 1);
+  infeasible.add_request({0});
+  infeasible.add_request({0});
+  const auto witness = infeasible.infeasibility_witness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(witness->empty());
+}
+
+TEST(ConnectionProblem, WitnessViolatesHall) {
+  // Witness X must satisfy sum capacities of B(X) < |X|.
+  p2pvod::util::Rng rng(99);
+  int found = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    auto problem = random_problem(rng, 5, 10, 1, 0.25);
+    const auto witness = problem.infeasibility_witness();
+    if (!witness) continue;
+    ++found;
+    std::vector<bool> in_bx(problem.box_count(), false);
+    std::uint64_t cap = 0;
+    for (const auto r : *witness) {
+      for (const auto b : problem.candidates(r)) {
+        if (!in_bx[b]) {
+          in_bx[b] = true;
+          cap += problem.capacity(b);
+        }
+      }
+    }
+    EXPECT_LT(cap, witness->size());
+  }
+  EXPECT_GT(found, 0) << "no infeasible instance generated; weaken params";
+}
+
+TEST(ConnectionProblem, EdgeCountSums) {
+  f::ConnectionProblem p(3);
+  p.add_request({0, 1});
+  p.add_request({2});
+  EXPECT_EQ(p.edge_count(), 3u);
+}
+
+TEST(ConnectionProblem, RejectsForeignBoxes) {
+  f::ConnectionProblem p(2);
+  EXPECT_THROW(p.add_request({5}), std::out_of_range);
+  EXPECT_THROW(p.set_capacities({1}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- hall
+
+TEST(Hall, FeasibleInstancePassesAllSubsets) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.set_capacity(1, 1);
+  p.add_request({0, 1});
+  p.add_request({0, 1});
+  EXPECT_TRUE(f::HallChecker::feasible(p));
+}
+
+TEST(Hall, DetectsViolation) {
+  f::ConnectionProblem p(1);
+  p.set_capacity(0, 1);
+  p.add_request({0});
+  p.add_request({0});
+  const auto violation = f::HallChecker::find_violation(p);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->demand, 2u);
+  EXPECT_EQ(violation->capacity, 1u);
+}
+
+TEST(Hall, SubsetChecker) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 0);
+  p.set_capacity(1, 5);
+  p.add_request({0});
+  p.add_request({1});
+  EXPECT_TRUE(f::HallChecker::check_subset(p, {0}).has_value());
+  EXPECT_FALSE(f::HallChecker::check_subset(p, {1}).has_value());
+}
+
+TEST(Hall, RejectsHugeInstances) {
+  f::ConnectionProblem p(1);
+  p.set_capacity(0, 100);
+  for (int i = 0; i < 30; ++i) p.add_request({0});
+  EXPECT_THROW((void)f::HallChecker::find_violation(p),
+               std::invalid_argument);
+}
+
+// Lemma 1 (min-cut max-flow): matching exists iff no Hall violation.
+TEST(Hall, Lemma1EquivalenceOnRandomInstances) {
+  p2pvod::util::Rng rng(123);
+  int feasible_count = 0, infeasible_count = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    // Mean total capacity 7.5 vs 5 requests with dense edges: a healthy mix
+    // of feasible and infeasible instances.
+    auto problem = random_problem(rng, 5, 5, 3, 0.5);
+    const bool by_flow = problem.solve().complete;
+    const bool by_hall = f::HallChecker::feasible(problem);
+    ASSERT_EQ(by_flow, by_hall) << "Lemma 1 equivalence failed, trial "
+                                << trial;
+    by_flow ? ++feasible_count : ++infeasible_count;
+  }
+  EXPECT_GT(feasible_count, 0);
+  EXPECT_GT(infeasible_count, 0);
+}
+
+// ----------------------------------------------------------------- matcher
+
+TEST(IncrementalMatcher, MatchesFromScratch) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.set_capacity(1, 1);
+  p.add_request({0, 1});
+  p.add_request({0});
+  f::IncrementalMatcher matcher(2);
+  const auto result = matcher.solve(p, {-1, -1});
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(IncrementalMatcher, KeepsValidCarries) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.set_capacity(1, 1);
+  p.add_request({0, 1});
+  p.add_request({0, 1});
+  f::IncrementalMatcher matcher(2);
+  const auto result = matcher.solve(p, {1, 0});  // previous round's wiring
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.assignment[0], 1);
+  EXPECT_EQ(result.assignment[1], 0);
+  EXPECT_EQ(matcher.stats().kept_connections, 2u);
+  EXPECT_EQ(matcher.stats().new_connections, 0u);
+}
+
+TEST(IncrementalMatcher, DropsInvalidCarries) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.set_capacity(1, 1);
+  p.add_request({1});  // box 0 no longer a candidate
+  f::IncrementalMatcher matcher(2);
+  const auto result = matcher.solve(p, {0});
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.assignment[0], 1);
+}
+
+TEST(IncrementalMatcher, AgreesWithDinicOnRandomSequences) {
+  p2pvod::util::Rng rng(555);
+  f::IncrementalMatcher matcher(8);
+  std::vector<std::int32_t> carry;
+  for (int round = 0; round < 40; ++round) {
+    auto problem = random_problem(rng, 8, 10, 2, 0.35);
+    carry.resize(problem.request_count(), -1);
+    const auto incremental = matcher.solve(problem, carry);
+    const auto reference = problem.solve(f::Engine::kDinic);
+    ASSERT_EQ(incremental.served, reference.served) << "round " << round;
+    carry = incremental.assignment;
+  }
+  EXPECT_GT(matcher.stats().kept_connections, 0u);
+}
+
+TEST(IncrementalMatcher, RejectsBoxCountChange) {
+  f::IncrementalMatcher matcher(3);
+  f::ConnectionProblem p(2);
+  EXPECT_THROW((void)matcher.solve(p, {}), std::invalid_argument);
+}
+
+TEST(EngineName, Strings) {
+  EXPECT_STREQ(f::engine_name(f::Engine::kDinic), "dinic");
+  EXPECT_STREQ(f::engine_name(f::Engine::kHopcroftKarp), "hopcroft-karp");
+}

@@ -1,0 +1,422 @@
+// Unit tests for src/sim: swarm registry, cache index availability rule,
+// strategies, and hand-checkable end-to-end simulator scenarios.
+#include <gtest/gtest.h>
+
+#include "alloc/allocation.hpp"
+#include "sim/cache.hpp"
+#include "sim/simulator.hpp"
+#include "sim/strategy.hpp"
+#include "sim/swarm.hpp"
+#include "workload/trace.hpp"
+
+namespace s = p2pvod::sim;
+namespace m = p2pvod::model;
+namespace a = p2pvod::alloc;
+namespace w = p2pvod::workload;
+
+// ----------------------------------------------------------------- swarm
+
+TEST(Swarm, TicketsAreSequential) {
+  s::SwarmRegistry reg(2);
+  EXPECT_EQ(reg.enter(0, 0), 0u);
+  EXPECT_EQ(reg.enter(0, 0), 1u);
+  EXPECT_EQ(reg.enter(1, 0), 0u);
+  EXPECT_EQ(reg.total_entries(0), 2u);
+}
+
+TEST(Swarm, SizeTracksEnterLeave) {
+  s::SwarmRegistry reg(1);
+  reg.enter(0, 0);
+  reg.enter(0, 0);
+  EXPECT_EQ(reg.size(0), 2u);
+  reg.leave(0);
+  EXPECT_EQ(reg.size(0), 1u);
+  EXPECT_EQ(reg.peak_size(), 2u);
+}
+
+TEST(Swarm, LeaveOnEmptyThrows) {
+  s::SwarmRegistry reg(1);
+  EXPECT_THROW(reg.leave(0), std::logic_error);
+}
+
+TEST(Swarm, AdmissibleJoinsFollowGrowthRule) {
+  s::SwarmRegistry reg(1);
+  reg.begin_round(0);
+  // f=0: ceil(max(0,1)*2) = 2 joins allowed.
+  EXPECT_EQ(reg.admissible_joins(0, 2.0), 2u);
+  reg.enter(0, 0);
+  reg.enter(0, 0);
+  EXPECT_EQ(reg.admissible_joins(0, 2.0), 0u);
+  reg.begin_round(1);
+  // f=2: up to ceil(4)=4, so 2 more.
+  EXPECT_EQ(reg.admissible_joins(0, 2.0), 2u);
+}
+
+TEST(Swarm, OutOfRangeThrows) {
+  s::SwarmRegistry reg(1);
+  EXPECT_THROW((void)reg.size(1), std::out_of_range);
+  EXPECT_THROW((void)reg.enter(1, 0), std::out_of_range);
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(Cache, EarlierJoinerServesLaterRequest) {
+  s::CacheIndex cache(1, /*window=*/8);
+  cache.grant(0, /*box=*/3, /*entry=*/5);
+  std::vector<m::BoxId> out;
+  // Request issued at 6 (strictly after 5): box 3 qualifies at round 7.
+  EXPECT_EQ(cache.collect_servers(0, 6, 7, m::kInvalidBox, out), 1u);
+  EXPECT_EQ(out[0], 3u);
+}
+
+TEST(Cache, SameRoundJoinersCannotServeEachOther) {
+  s::CacheIndex cache(1, 8);
+  cache.grant(0, 3, 5);
+  std::vector<m::BoxId> out;
+  // Request also issued at 5: strict inequality excludes box 3 (§2.2).
+  EXPECT_EQ(cache.collect_servers(0, 5, 7, m::kInvalidBox, out), 0u);
+}
+
+TEST(Cache, RetentionWindowExpires) {
+  s::CacheIndex cache(1, 4);
+  cache.grant(0, 3, 5);
+  std::vector<m::BoxId> out;
+  EXPECT_EQ(cache.collect_servers(0, 9, 9, m::kInvalidBox, out), 1u);
+  out.clear();
+  // now=10: oldest retained entry is 10-4=6 > 5.
+  EXPECT_EQ(cache.collect_servers(0, 9, 10, m::kInvalidBox, out), 0u);
+}
+
+TEST(Cache, ExcludesRequesterItself) {
+  s::CacheIndex cache(1, 8);
+  cache.grant(0, 3, 5);
+  std::vector<m::BoxId> out;
+  EXPECT_EQ(cache.collect_servers(0, 6, 7, /*exclude=*/3, out), 0u);
+}
+
+TEST(Cache, FutureGrantsInvisibleToEarlierRequests) {
+  s::CacheIndex cache(1, 8);
+  cache.grant(0, 3, 9);  // relay-lagged entry in the future
+  std::vector<m::BoxId> out;
+  EXPECT_EQ(cache.collect_servers(0, 7, 8, m::kInvalidBox, out), 0u);
+}
+
+TEST(Cache, PruneDropsExpiredEntries) {
+  s::CacheIndex cache(2, 4);
+  cache.grant(0, 1, 0);
+  cache.grant(1, 2, 6);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  cache.prune(10);  // oldest kept entry: 6
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+// ----------------------------------------------------------------- fixtures
+
+namespace {
+
+/// n boxes, one video with c stripes all stored on the last `holders` boxes,
+/// k = holders. Simple hand-checkable world.
+struct World {
+  World(std::uint32_t n, std::uint32_t c, m::Round T, double u,
+        std::uint32_t holder_count, std::uint32_t videos = 1)
+      : catalog(videos, c, T),
+        profile(m::CapacityProfile::homogeneous(n, u, 100.0)),
+        allocation(build_allocation(n, videos, c, holder_count)) {}
+
+  static a::Allocation build_allocation(std::uint32_t n, std::uint32_t videos,
+                                        std::uint32_t c,
+                                        std::uint32_t holder_count) {
+    std::vector<a::Allocation::Placement> placements;
+    for (std::uint32_t v = 0; v < videos; ++v) {
+      for (std::uint32_t i = 0; i < c; ++i) {
+        for (std::uint32_t h = 0; h < holder_count; ++h) {
+          placements.push_back({n - 1 - h, v * c + i});
+        }
+      }
+    }
+    return a::Allocation(n, videos * c, std::move(placements));
+  }
+
+  m::Catalog catalog;
+  m::CapacityProfile profile;
+  a::Allocation allocation;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- strategy
+
+TEST(Strategy, PreloadingStaggersRequests) {
+  World world(4, 3, 12, 2.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  std::vector<s::PlannedRequest> plans;
+  strategy.plan(/*box=*/0, /*video=*/0, /*ticket=*/1, /*now=*/5, sim, plans);
+  ASSERT_EQ(plans.size(), 3u);
+  int at_now = 0, at_next = 0;
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.requester, 0u);
+    if (p.issue == 5) {
+      ++at_now;
+      EXPECT_EQ(p.stripe, 1u);  // ticket 1 mod 3
+    } else {
+      EXPECT_EQ(p.issue, 6);
+      ++at_next;
+    }
+  }
+  EXPECT_EQ(at_now, 1);
+  EXPECT_EQ(at_next, 2);
+}
+
+TEST(Strategy, PreloadIndexCyclesWithTicket) {
+  World world(4, 3, 12, 2.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  for (std::uint64_t ticket = 0; ticket < 6; ++ticket) {
+    std::vector<s::PlannedRequest> plans;
+    strategy.plan(0, 0, ticket, 0, sim, plans);
+    for (const auto& p : plans) {
+      if (p.issue == 0) EXPECT_EQ(p.stripe, ticket % 3);
+    }
+  }
+}
+
+TEST(Strategy, NaiveIssuesEverythingNow) {
+  World world(4, 3, 12, 2.0, 1);
+  s::NaiveStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  std::vector<s::PlannedRequest> plans;
+  strategy.plan(0, 0, 4, 7, sim, plans);
+  ASSERT_EQ(plans.size(), 3u);
+  for (const auto& p : plans) EXPECT_EQ(p.issue, 7);
+}
+
+TEST(Strategy, SkipsLocallyStoredStripes) {
+  World world(4, 3, 12, 2.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  std::vector<s::PlannedRequest> plans;
+  // Box 3 is the holder of all stripes: nothing to request.
+  strategy.plan(3, 0, 0, 2, sim, plans);
+  EXPECT_TRUE(plans.empty());
+}
+
+TEST(Strategy, FactoryNames) {
+  EXPECT_EQ(s::make_strategy(s::StrategyKind::kPreloading)->name(),
+            "preloading");
+  EXPECT_EQ(s::make_strategy(s::StrategyKind::kNaive)->name(), "naive");
+}
+
+// ----------------------------------------------------------------- simulator
+
+TEST(Simulator, SingleViewerServedByHolder) {
+  World world(2, 1, 4, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}});               // demand at round 0
+  for (int t = 1; t < 8; ++t) sim.step({});
+  const auto& report = sim.report();
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.demands_admitted, 1u);
+  EXPECT_EQ(report.requests_issued, 1u);
+  EXPECT_EQ(report.chunks_served, 4u);  // T = 4
+  EXPECT_EQ(report.sessions_completed, 1u);
+}
+
+TEST(Simulator, CacheChainServesSecondViewer) {
+  // One holder with capacity 1; two staggered viewers. The second must be
+  // served from the first viewer's playback cache.
+  World world(3, 1, 8, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}});  // round 0: box 0 joins
+  sim.step({{1, 0}});  // round 1: box 1 joins, must lean on box 0's cache
+  for (int t = 2; t < 12; ++t) sim.step({});
+  EXPECT_TRUE(sim.report().success);
+  EXPECT_EQ(sim.report().sessions_completed, 2u);
+}
+
+TEST(Simulator, SimultaneousJoinersCannotShareCache) {
+  // Same as above but both join in the same round: strict t_j < t_i means no
+  // cache help, and the single holder slot cannot serve both.
+  World world(3, 1, 8, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}, {1, 0}});
+  EXPECT_FALSE(sim.report().success);
+  EXPECT_EQ(sim.report().first_stall, 0);
+  EXPECT_GE(sim.report().stall_witness_size, 2u);
+  EXPECT_TRUE(sim.stalled());
+}
+
+TEST(Simulator, StalledStrictModeFreezes) {
+  World world(3, 1, 8, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}, {1, 0}});
+  const auto rounds = sim.report().rounds;
+  sim.step({});  // no-op once stalled
+  EXPECT_EQ(sim.report().rounds, rounds);
+}
+
+TEST(Simulator, NonStrictModeCountsStallsAndContinues) {
+  World world(3, 1, 8, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::SimulatorOptions options;
+  options.strict = false;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy,
+                   options);
+  sim.step({{0, 0}, {1, 0}});
+  for (int t = 1; t < 12; ++t) sim.step({});
+  const auto& report = sim.report();
+  EXPECT_TRUE(report.success);  // strict-mode flag untouched
+  EXPECT_GT(report.chunks_stalled, 0u);
+  EXPECT_LT(report.continuity(), 1.0);
+  EXPECT_EQ(report.sessions_completed, 2u);  // positions advanced regardless
+}
+
+TEST(Simulator, BusyBoxRejectsSecondDemand) {
+  World world(2, 1, 6, 1.0, 1, /*videos=*/2);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}});
+  sim.step({{0, 1}});  // still playing video 0
+  EXPECT_EQ(sim.report().demands_admitted, 1u);
+  EXPECT_EQ(sim.report().demands_rejected, 1u);
+}
+
+TEST(Simulator, BoxIdleAgainAfterPlayback) {
+  World world(2, 1, 4, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}});
+  EXPECT_FALSE(sim.box_idle(0));
+  // playback_start = 1, ends = 1 + 4 = 5: idle from round 5 on.
+  for (int t = 1; t <= 5; ++t) sim.step({});
+  EXPECT_TRUE(sim.box_idle(0));
+  EXPECT_EQ(sim.report().sessions_completed, 1u);
+  EXPECT_EQ(sim.swarms().size(0), 0u);
+}
+
+TEST(Simulator, StartupDelayIsThreeRoundsWithPreloading) {
+  World world(4, 3, 12, 4.0, 2);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({});          // round 0 idle
+  sim.step({{0, 0}});    // demand at round 1
+  for (int t = 2; t < 6; ++t) sim.step({});
+  const auto& delays = sim.report().startup_delay;
+  ASSERT_EQ(delays.total(), 1u);
+  // preload at 1, postponed at 2, playback at 3; arrival interval starts at
+  // round 0 -> delay 3, the §3 constant.
+  EXPECT_EQ(delays.min(), 3);
+}
+
+TEST(Simulator, StartupDelayIsTwoRoundsWithNaive) {
+  World world(4, 3, 12, 4.0, 2);
+  s::NaiveStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({});
+  sim.step({{0, 0}});
+  for (int t = 2; t < 6; ++t) sim.step({});
+  EXPECT_EQ(sim.report().startup_delay.min(), 2);
+}
+
+TEST(Simulator, LocalPlaybackNeedsNoRequests) {
+  World world(2, 2, 5, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{1, 0}});  // box 1 holds everything
+  EXPECT_EQ(sim.report().requests_issued, 0u);
+  EXPECT_FALSE(sim.box_idle(1));       // still "watching"
+  EXPECT_EQ(sim.swarms().size(0), 1u);  // and in the swarm
+  EXPECT_TRUE(sim.report().success);
+}
+
+TEST(Simulator, UtilizationBounded) {
+  World world(4, 2, 6, 1.0, 2);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}});
+  sim.step({{1, 0}});
+  for (int t = 2; t < 10; ++t) sim.step({});
+  const auto& util = sim.report().upload_utilization;
+  EXPECT_GT(util.count(), 0u);
+  EXPECT_GE(util.min(), 0.0);
+  EXPECT_LE(util.max(), 1.0);
+}
+
+TEST(Simulator, VerifyIncrementalAgainstReference) {
+  World world(6, 2, 6, 1.5, 2, /*videos=*/3);
+  s::PreloadingStrategy strategy;
+  s::SimulatorOptions options;
+  options.verify_incremental = true;  // throws on disagreement
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy,
+                   options);
+  sim.step({{0, 0}});
+  sim.step({{1, 1}});
+  sim.step({{2, 2}, {4, 0}});
+  for (int t = 3; t < 16; ++t) sim.step({});
+  EXPECT_TRUE(sim.report().success);
+}
+
+TEST(Simulator, CapacityOverrideRespected) {
+  World world(3, 1, 8, 5.0, 1);
+  s::PreloadingStrategy strategy;
+  s::SimulatorOptions options;
+  options.capacity_override = {0, 0, 1};  // throttle the holder to 1 slot
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy,
+                   options);
+  sim.step({{0, 0}, {1, 0}});  // two simultaneous joiners, one slot
+  EXPECT_FALSE(sim.report().success);
+}
+
+TEST(Simulator, RejectsMismatchedCapacityOverride) {
+  World world(3, 1, 8, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::SimulatorOptions options;
+  options.capacity_override = {1};
+  EXPECT_THROW(s::Simulator(world.catalog, world.profile, world.allocation,
+                            strategy, options),
+               std::invalid_argument);
+}
+
+TEST(Simulator, UnknownDemandThrows) {
+  World world(2, 1, 4, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  EXPECT_THROW(sim.step({{0, 9}}), std::out_of_range);
+  EXPECT_THROW(sim.step({{9, 0}}), std::out_of_range);
+}
+
+TEST(Simulator, RunDrivesGeneratorUntilStall) {
+  World world(3, 1, 8, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  w::Trace trace;
+  trace.add(0, 0, 0);
+  trace.add(3, 1, 0);  // staggered: feasible via cache
+  w::TraceReplay replay(trace);
+  const auto report = sim.run(replay, 20);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.demands_admitted, 2u);
+  EXPECT_EQ(report.rounds, 20);
+}
+
+TEST(Simulator, ReportSummaryMentionsOutcome) {
+  World world(2, 1, 4, 1.0, 1);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}});
+  EXPECT_NE(sim.report().summary().find("SUCCESS"), std::string::npos);
+}
+
+TEST(Simulator, ActiveRequestsTracked) {
+  World world(4, 2, 6, 2.0, 2);
+  s::PreloadingStrategy strategy;
+  s::Simulator sim(world.catalog, world.profile, world.allocation, strategy);
+  sim.step({{0, 0}});          // preload active
+  EXPECT_EQ(sim.active_request_count(), 1u);
+  sim.step({});                 // postponed joins
+  EXPECT_EQ(sim.active_request_count(), 2u);
+}

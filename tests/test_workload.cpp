@@ -1,0 +1,362 @@
+// Unit tests for src/workload: each generator's contract plus the µ-growth
+// limiter's compounding-ceiling semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "alloc/permutation.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/distinct.hpp"
+#include "workload/flash_crowd.hpp"
+#include "workload/limiter.hpp"
+#include "workload/poisson.hpp"
+#include "workload/sequential.hpp"
+#include "workload/trace.hpp"
+#include "workload/zipf.hpp"
+
+namespace w = p2pvod::workload;
+namespace s = p2pvod::sim;
+namespace m = p2pvod::model;
+namespace a = p2pvod::alloc;
+
+namespace {
+
+struct SimWorld {
+  SimWorld(std::uint32_t n, std::uint32_t videos, std::uint32_t c,
+           m::Round T, double u = 4.0, std::uint32_t k = 2,
+           std::uint64_t seed = 99)
+      : catalog(videos, c, T),
+        profile(m::CapacityProfile::homogeneous(n, u, 8.0)),
+        rng(seed),
+        allocation(a::PermutationAllocator().allocate(catalog, profile, k,
+                                                      rng)),
+        simulator(catalog, profile, allocation, strategy) {}
+
+  m::Catalog catalog;
+  m::CapacityProfile profile;
+  p2pvod::util::Rng rng;
+  a::Allocation allocation;
+  s::PreloadingStrategy strategy;
+  s::Simulator simulator;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- helpers
+
+TEST(Workload, IdleBoxesMatchesSimulatorState) {
+  SimWorld world(6, 4, 2, 8);
+  EXPECT_EQ(w::idle_boxes(world.simulator).size(), 6u);
+  world.simulator.step({{2, 0}});
+  const auto idle = w::idle_boxes(world.simulator);
+  EXPECT_EQ(idle.size(), 5u);
+  EXPECT_EQ(std::count(idle.begin(), idle.end(), 2u), 0);
+}
+
+// ----------------------------------------------------------------- avoider
+
+TEST(Avoider, PicksVideosTheBoxLacks) {
+  SimWorld world(8, 16, 2, 8);
+  w::AvoiderAdversary adversary(123);
+  const auto demands = adversary.demands(world.simulator);
+  EXPECT_FALSE(demands.empty());
+  for (const auto& d : demands) {
+    EXPECT_FALSE(world.allocation.box_has_video_data(d.box, world.catalog,
+                                                     d.video))
+        << "box " << d.box << " stores data of video " << d.video;
+  }
+}
+
+TEST(Avoider, SilentWhenEveryVideoCovered) {
+  // k = 32 replicas of each of the 2 stripes fill every one of the 64 slots,
+  // so every box necessarily holds data of the single video.
+  SimWorld world(4, 1, 2, 8, 4.0, /*k=*/32);
+  w::AvoiderAdversary adversary(5, w::AvoiderAdversary::Fallback::kStaySilent);
+  EXPECT_TRUE(adversary.demands(world.simulator).empty());
+}
+
+TEST(Avoider, FallbackLeastLocalData) {
+  SimWorld world(4, 1, 2, 8, 4.0, 32);
+  w::AvoiderAdversary adversary(5,
+                                w::AvoiderAdversary::Fallback::kLeastLocalData);
+  const auto demands = adversary.demands(world.simulator);
+  EXPECT_EQ(demands.size(), 4u);  // every idle box demands something
+}
+
+TEST(Avoider, RespectsPerRoundCap) {
+  SimWorld world(8, 16, 2, 8);
+  w::AvoiderAdversary adversary(9, w::AvoiderAdversary::Fallback::kStaySilent,
+                                /*max per round=*/3);
+  EXPECT_LE(adversary.demands(world.simulator).size(), 3u);
+}
+
+// ----------------------------------------------------------------- flash crowd
+
+TEST(FlashCrowd, SeedsOneViewerThenGrows) {
+  SimWorld world(32, 4, 2, 16);
+  w::FlashCrowd crowd(/*video=*/1, /*mu=*/2.0);
+  auto demands = crowd.demands(world.simulator);
+  ASSERT_EQ(demands.size(), 2u);  // f=0 -> ceil(1*2) = 2 joiners allowed
+  world.simulator.step(demands);
+  demands = crowd.demands(world.simulator);
+  EXPECT_EQ(demands.size(), 2u);  // f=2 -> up to 4
+  world.simulator.step(demands);
+  demands = crowd.demands(world.simulator);
+  EXPECT_EQ(demands.size(), 4u);  // f=4 -> up to 8
+}
+
+TEST(FlashCrowd, HonorsStartRound) {
+  SimWorld world(8, 4, 2, 16);
+  w::FlashCrowd crowd(0, 2.0, /*start=*/3);
+  EXPECT_TRUE(crowd.demands(world.simulator).empty());
+  world.simulator.step({});
+  world.simulator.step({});
+  world.simulator.step({});
+  EXPECT_FALSE(crowd.demands(world.simulator).empty());
+}
+
+TEST(FlashCrowd, StopsAtMaxJoiners) {
+  SimWorld world(32, 4, 2, 16);
+  w::FlashCrowd crowd(0, 4.0, 0, /*max joiners=*/5);
+  std::uint32_t total = 0;
+  for (int t = 0; t < 6; ++t) {
+    const auto demands = crowd.demands(world.simulator);
+    total += static_cast<std::uint32_t>(demands.size());
+    world.simulator.step(demands);
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(crowd.total_joined(), 5u);
+}
+
+// ----------------------------------------------------------------- zipf
+
+TEST(Zipf, SamplerProbabilitiesDecreaseWithRank) {
+  w::ZipfSampler sampler(10, 1.0);
+  for (std::uint32_t r = 1; r < 10; ++r)
+    EXPECT_GT(sampler.probability(r - 1), sampler.probability(r));
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  w::ZipfSampler sampler(8, 0.0);
+  for (std::uint32_t r = 0; r < 8; ++r)
+    EXPECT_NEAR(sampler.probability(r), 0.125, 1e-12);
+}
+
+TEST(Zipf, SampleFrequenciesTrackProbabilities) {
+  w::ZipfSampler sampler(5, 1.2);
+  p2pvod::util::Rng rng(7);
+  std::array<int, 5> counts{};
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) ++counts[sampler.sample(rng)];
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kSamples),
+                sampler.probability(r), 0.02);
+  }
+}
+
+TEST(Zipf, RejectsDegenerateInputs) {
+  EXPECT_THROW(w::ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(w::ZipfSampler(5, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, GeneratorTargetsIdleBoxesOnly) {
+  SimWorld world(6, 8, 2, 8);
+  world.simulator.step({{0, 0}});
+  w::ZipfDemand zipf(8, 0.8, 1.0, 11);
+  const auto demands = zipf.demands(world.simulator);
+  EXPECT_EQ(demands.size(), 5u);  // all idle boxes demand with prob 1
+  for (const auto& d : demands) EXPECT_NE(d.box, 0u);
+}
+
+// ----------------------------------------------------------------- poisson
+
+TEST(Poisson, RateControlsVolume) {
+  SimWorld world(64, 8, 2, 8);
+  w::PoissonArrivals gen(3.0, 17);
+  double total = 0.0;
+  for (int t = 0; t < 200; ++t)
+    total += static_cast<double>(gen.demands(world.simulator).size());
+  EXPECT_NEAR(total / 200.0, 3.0, 0.5);
+}
+
+TEST(Poisson, NeverAssignsSameBoxTwicePerRound) {
+  SimWorld world(8, 4, 2, 8);
+  w::PoissonArrivals gen(6.0, 23);
+  for (int t = 0; t < 50; ++t) {
+    const auto demands = gen.demands(world.simulator);
+    std::set<m::BoxId> boxes;
+    for (const auto& d : demands) {
+      EXPECT_TRUE(boxes.insert(d.box).second) << "duplicate box in round";
+    }
+  }
+}
+
+// ----------------------------------------------------------------- distinct
+
+TEST(Distinct, FirstRoundPairwiseDistinct) {
+  SimWorld world(6, 8, 2, 8);
+  w::DistinctVideosSweep sweep(3);
+  const auto demands = sweep.demands(world.simulator);
+  ASSERT_EQ(demands.size(), 6u);
+  std::set<m::VideoId> videos;
+  for (const auto& d : demands) EXPECT_TRUE(videos.insert(d.video).second);
+}
+
+TEST(Distinct, NoRepeatWithoutFlag) {
+  SimWorld world(4, 8, 2, 8);
+  w::DistinctVideosSweep sweep(3, /*repeat=*/false);
+  (void)sweep.demands(world.simulator);
+  EXPECT_TRUE(sweep.demands(world.simulator).empty());
+}
+
+TEST(Distinct, RepeatRotatesVideos) {
+  SimWorld world(4, 8, 2, 8);
+  w::DistinctVideosSweep sweep(3, /*repeat=*/true);
+  const auto first = sweep.demands(world.simulator);
+  const auto second = sweep.demands(world.simulator);  // boxes still idle
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].box, first[i].box);
+    EXPECT_EQ(second[i].video, (first[i].video + 1) % 8);
+  }
+}
+
+// ----------------------------------------------------------------- sequential
+
+TEST(Sequential, IdleBoxesRejoinNextVideo) {
+  SimWorld world(4, 6, 2, 8);
+  w::SequentialViewer viewer(3, 1.0);
+  const auto first = viewer.demands(world.simulator);
+  ASSERT_EQ(first.size(), 4u);
+  const auto second = viewer.demands(world.simulator);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(second[i].video, (first[i].video + 1) % 6);
+  }
+}
+
+TEST(Sequential, JoinProbabilityZeroIsSilent) {
+  SimWorld world(4, 6, 2, 8);
+  w::SequentialViewer viewer(3, 0.0);
+  EXPECT_TRUE(viewer.demands(world.simulator).empty());
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(Trace, SaveLoadRoundTrip) {
+  w::Trace trace;
+  trace.add(0, 1, 2);
+  trace.add(0, 3, 4);
+  trace.add(5, 0, 1);
+  std::stringstream buffer;
+  trace.save(buffer);
+  const auto loaded = w::Trace::load(buffer);
+  EXPECT_EQ(loaded.entries(), trace.entries());
+}
+
+TEST(Trace, LoadSkipsCommentsAndRejectsGarbage) {
+  std::stringstream good("# comment\n1 2 3\n");
+  EXPECT_EQ(w::Trace::load(good).size(), 1u);
+  std::stringstream bad("1 two 3\n");
+  EXPECT_THROW((void)w::Trace::load(bad), std::runtime_error);
+}
+
+TEST(Trace, AddRejectsOutOfOrderRounds) {
+  w::Trace trace;
+  trace.add(5, 0, 0);
+  EXPECT_THROW(trace.add(4, 0, 0), std::invalid_argument);
+}
+
+TEST(Trace, RecorderCapturesReplayReproduces) {
+  SimWorld world(6, 8, 2, 8);
+  w::DistinctVideosSweep inner(3);
+  w::TraceRecorder recorder(inner);
+  const auto demands = recorder.demands(world.simulator);
+  EXPECT_EQ(recorder.trace().size(), demands.size());
+
+  SimWorld world2(6, 8, 2, 8);
+  w::TraceReplay replay(recorder.trace());
+  const auto replayed = replay.demands(world2.simulator);
+  ASSERT_EQ(replayed.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_EQ(replayed[i].box, demands[i].box);
+    EXPECT_EQ(replayed[i].video, demands[i].video);
+  }
+}
+
+TEST(Trace, ReplayEmitsAtRecordedRound) {
+  w::Trace trace;
+  trace.add(2, 0, 1);
+  w::TraceReplay replay(trace);
+  SimWorld world(4, 4, 2, 8);
+  EXPECT_TRUE(replay.demands(world.simulator).empty());  // round 0
+  world.simulator.step({});
+  EXPECT_TRUE(replay.demands(world.simulator).empty());  // round 1
+  world.simulator.step({});
+  EXPECT_EQ(replay.demands(world.simulator).size(), 1u);  // round 2
+}
+
+// ----------------------------------------------------------------- limiter
+
+namespace {
+/// Generator that floods one video with every idle box, to stress the cap.
+class Flood final : public w::DemandGenerator {
+ public:
+  explicit Flood(m::VideoId video) : video_(video) {}
+  std::vector<s::Demand> demands(const s::Simulator& sim) override {
+    std::vector<s::Demand> out;
+    for (const auto b : w::idle_boxes(sim)) out.push_back({b, video_});
+    return out;
+  }
+  std::string name() const override { return "flood"; }
+
+ private:
+  m::VideoId video_;
+};
+}  // namespace
+
+TEST(Limiter, CapsJoinsToGrowthBound) {
+  SimWorld world(64, 4, 2, 32);
+  Flood flood(0);
+  w::GrowthLimiter limited(flood, /*mu=*/2.0);
+  // Round 0: f=0, cap = ceil(1*2) = 2.
+  auto demands = limited.demands(world.simulator);
+  EXPECT_EQ(demands.size(), 2u);
+  world.simulator.step(demands);
+  // Round 1: f=2, cap 4 -> 2 more.
+  demands = limited.demands(world.simulator);
+  EXPECT_EQ(demands.size(), 2u);
+  EXPECT_GT(limited.dropped(), 0u);
+}
+
+TEST(Limiter, CompoundingCeilingsDoNotLeak) {
+  // µ=1.4 from f=1: one-step ceilings would allow 2 then 3, but the anchored
+  // rule caps f(2) at ceil(1*1.4^2) = 2.
+  SimWorld world(16, 4, 2, 32);
+  Flood flood(0);
+  w::GrowthLimiter limited(flood, 1.4);
+  auto demands = limited.demands(world.simulator);  // round 0: cap ceil(1.4)=2?
+  // f=0 -> anchor log(1); cap at t=1 is ceil(1.4) = 2... the first round cap
+  // allows ceil(mu) joins.
+  ASSERT_LE(demands.size(), 2u);
+  world.simulator.step(demands);
+  const auto f1 = world.simulator.swarms().size(0);
+  demands = limited.demands(world.simulator);
+  world.simulator.step(demands);
+  const auto f2 = world.simulator.swarms().size(0);
+  // The anchored bound from round 0 (f<=1): f(2) <= ceil(1 * 1.4^2) = 2.
+  EXPECT_LE(f2, 2u);
+  EXPECT_LE(f1, 2u);
+}
+
+TEST(Limiter, NameWrapsInner) {
+  Flood flood(0);
+  w::GrowthLimiter limited(flood, 2.0);
+  EXPECT_EQ(limited.name(), "mu-limited(flood)");
+}
+
+TEST(Limiter, RejectsMuBelowOne) {
+  Flood flood(0);
+  EXPECT_THROW(w::GrowthLimiter(flood, 0.5), std::invalid_argument);
+}
