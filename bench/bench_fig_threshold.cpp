@@ -6,11 +6,18 @@
 // linear catalog; above it a random allocation with constant k absorbs every
 // µ-bounded sequence with high probability.
 //
-// Protocol held fixed (c=4, k=6, m=d·n/k) so the only moving part is u.
+// Protocol held fixed (c=4, k=6, m=d·n/k) so the only moving part is u. The
+// u grid runs on the sweep engine: points execute in parallel across cores,
+// with per-cell seeds pinned to 0xE2 (the sweep's derived seeds are ignored)
+// so the figure data is identical to the original serial harness.
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "analysis/calibrate.hpp"
 #include "bench_common.hpp"
+#include "sweep/parameter_grid.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -19,41 +26,60 @@ int main() {
                 "success probability vs u: phase transition at u = 1");
 
   const std::uint32_t trials = bench::scaled(8, 2);
-  analysis::TrialSpec spec;
-  spec.n = bench::scaled(48, 24);
-  spec.d = 4.0;
-  spec.mu = 1.3;
-  spec.c = 4;
-  spec.k = 6;
-  spec.duration = 12;
-  spec.rounds = 36;
+  analysis::TrialSpec base;
+  base.n = bench::scaled(48, 24);
+  base.d = 4.0;
+  base.mu = 1.3;
+  base.c = 4;
+  base.k = 6;
+  base.duration = 12;
+  base.rounds = 36;
+
+  sweep::ParameterGrid grid(base);
+  grid.axis("u", {0.60, 0.80, 0.90, 0.95, 1.05, 1.10, 1.25, 1.50, 2.00,
+                  3.00});
+
+  // One grid point per u; the four workload suites are that point's metric
+  // columns (plus the Wilson interval of the full suite).
+  const sweep::SweepRunner runner;
+  const auto result = runner.run(
+      grid, {"avoider", "flash", "distinct", "full", "full_lo", "full_hi"},
+      [trials](const sweep::GridPoint& point, std::uint64_t /*seed*/) {
+        std::vector<double> metrics;
+        for (const auto suite :
+             {analysis::WorkloadSuite::kAvoider,
+              analysis::WorkloadSuite::kFlashCrowd,
+              analysis::WorkloadSuite::kDistinct,
+              analysis::WorkloadSuite::kFull}) {
+          auto spec = point.spec;
+          spec.suite = suite;
+          const auto rate =
+              analysis::Calibrator::success_rate(spec, trials, 0xE2);
+          metrics.push_back(rate.estimate);
+          if (suite == analysis::WorkloadSuite::kFull) {
+            metrics.push_back(rate.lower);
+            metrics.push_back(rate.upper);
+          }
+        }
+        return metrics;
+      });
 
   util::Table table("success fraction over " + std::to_string(trials) +
-                    " seeds, n=" + std::to_string(spec.n) +
+                    " seeds, n=" + std::to_string(base.n) +
                     ", c=4, k=6, m=d*n/k");
   table.set_header({"u", "avoider", "flash crowd", "distinct", "full suite",
                     "full 95% CI"});
-  for (const double u : {0.60, 0.80, 0.90, 0.95, 1.05, 1.10, 1.25, 1.50,
-                         2.00, 3.00}) {
-    spec.u = u;
-    table.begin_row().cell(u);
-    for (const auto suite :
-         {analysis::WorkloadSuite::kAvoider,
-          analysis::WorkloadSuite::kFlashCrowd,
-          analysis::WorkloadSuite::kDistinct, analysis::WorkloadSuite::kFull}) {
-      spec.suite = suite;
-      const auto rate =
-          analysis::Calibrator::success_rate(spec, trials, 0xE2);
-      table.cell(rate.estimate, 3);
-      if (suite == analysis::WorkloadSuite::kFull) {
-        std::string interval = "[";
-        interval += util::Table::format_double(rate.lower, 2);
-        interval += ",";
-        interval += util::Table::format_double(rate.upper, 2);
-        interval += "]";
-        table.cell(interval);
-      }
+  for (const auto& row : result.rows()) {
+    table.begin_row().cell(row.point.values[0]);
+    for (std::size_t metric = 0; metric < 4; ++metric) {
+      table.cell(row.metrics[metric], 3);
     }
+    std::string interval = "[";
+    interval += util::Table::format_double(row.metrics[4], 2);
+    interval += ",";
+    interval += util::Table::format_double(row.metrics[5], 2);
+    interval += "]";
+    table.cell(interval);
   }
   p2pvod::bench::emit(table, "E2_threshold");
   std::cout << "\nExpected shape: ~0 for u < 1 (the Section 1.3 avoider "

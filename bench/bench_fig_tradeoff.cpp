@@ -6,12 +6,20 @@
 //
 // We sweep u -> 1⁺, tabulating the closed-form bound, its local power-law
 // exponent (should approach 3), and the empirical max catalog at a small n.
+// The closed-form table is a cheap sequential recurrence (each exponent uses
+// the previous row); the empirical binary searches run as parallel grid
+// points on the sweep engine with seeds pinned to 0xE8, matching the
+// original serial harness.
 #include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "analysis/bounds.hpp"
 #include "analysis/calibrate.hpp"
 #include "bench_common.hpp"
+#include "sweep/parameter_grid.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -49,25 +57,36 @@ int main() {
   std::cout << '\n';
   const std::uint32_t n = bench::scaled(40, 24);
   const std::uint32_t trials = bench::scaled(3, 2);
+
+  analysis::TrialSpec base;
+  base.n = n;
+  base.d = d;
+  base.mu = mu;
+  base.c = 4;
+  base.duration = 10;
+  base.rounds = 30;
+  base.suite = analysis::WorkloadSuite::kFull;
+
+  sweep::ParameterGrid grid(base);
+  grid.axis("u", {1.1, 1.25, 1.5, 2.0, 3.0});
+
+  const sweep::SweepRunner runner;
+  const auto result = runner.run(
+      grid, {"max_m"},
+      [trials](const sweep::GridPoint& point, std::uint64_t /*seed*/) {
+        const auto found =
+            analysis::Calibrator::max_catalog(point.spec, 1.0, trials, 0xE8);
+        return std::vector<double>{static_cast<double>(found.m)};
+      });
+
   util::Table emp("empirical max catalog at n=" + std::to_string(n) +
                   " (full suite)");
   emp.set_header({"u", "max m measured", "m / (d*n)"});
-  for (const double u : {1.1, 1.25, 1.5, 2.0, 3.0}) {
-    analysis::TrialSpec spec;
-    spec.n = n;
-    spec.u = u;
-    spec.d = d;
-    spec.mu = mu;
-    spec.c = 4;
-    spec.duration = 10;
-    spec.rounds = 30;
-    spec.suite = analysis::WorkloadSuite::kFull;
-    const auto result =
-        analysis::Calibrator::max_catalog(spec, 1.0, trials, 0xE8);
+  for (const auto& row : result.rows()) {
     emp.begin_row()
-        .cell(u)
-        .cell(static_cast<std::uint64_t>(result.m))
-        .cell(static_cast<double>(result.m) / (d * n), 3);
+        .cell(row.point.values[0])
+        .cell(static_cast<std::uint64_t>(row.metrics[0]))
+        .cell(row.metrics[0] / (d * n), 3);
   }
   p2pvod::bench::emit(emp, "E8_empirical");
   std::cout << "\nExpected shape: the local exponent of the closed form "

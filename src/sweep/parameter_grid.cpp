@@ -1,0 +1,140 @@
+#include "sweep/parameter_grid.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace p2pvod::sweep {
+
+namespace {
+
+template <typename Field>
+void assign_clamped(Field& field, double value) {
+  // Clamp both ends: casting a double outside Field's range is UB. NaN is
+  // rejected earlier, in axis().
+  constexpr double kMin =
+      static_cast<double>(std::numeric_limits<Field>::lowest());
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<Field>::max());
+  if (value <= kMin) {
+    field = std::numeric_limits<Field>::lowest();
+  } else if (value >= kMax) {
+    field = std::numeric_limits<Field>::max();
+  } else {
+    field = static_cast<Field>(value);
+  }
+}
+
+}  // namespace
+
+ParameterGrid::ParameterGrid(analysis::TrialSpec base) : base_(base) {}
+
+ParameterGrid& ParameterGrid::axis(const std::string& name,
+                                   std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("ParameterGrid::axis: empty value list for '" +
+                                name + "'");
+  }
+  for (const double value : values) {
+    if (std::isnan(value)) {
+      throw std::invalid_argument("ParameterGrid::axis: NaN value on axis '" +
+                                  name + "'");
+    }
+  }
+  for (const Axis& existing : axes_) {
+    if (existing.name == name) {
+      throw std::invalid_argument("ParameterGrid::axis: duplicate axis '" +
+                                  name + "'");
+    }
+  }
+
+  Setter setter = nullptr;
+  if (name == "n") {
+    setter = [](analysis::TrialSpec& s, double v) {
+      assign_clamped(s.n, v);
+    };
+  } else if (name == "u") {
+    setter = [](analysis::TrialSpec& s, double v) { s.u = v; };
+  } else if (name == "d") {
+    setter = [](analysis::TrialSpec& s, double v) { s.d = v; };
+  } else if (name == "mu") {
+    setter = [](analysis::TrialSpec& s, double v) { s.mu = v; };
+  } else if (name == "c") {
+    setter = [](analysis::TrialSpec& s, double v) {
+      assign_clamped(s.c, v);
+    };
+  } else if (name == "k") {
+    setter = [](analysis::TrialSpec& s, double v) {
+      assign_clamped(s.k, v);
+    };
+  } else if (name == "m") {
+    setter = [](analysis::TrialSpec& s, double v) {
+      assign_clamped(s.m_override, v);
+    };
+  } else if (name == "duration") {
+    setter = [](analysis::TrialSpec& s, double v) {
+      assign_clamped(s.duration, v);
+    };
+  } else if (name == "rounds") {
+    setter = [](analysis::TrialSpec& s, double v) {
+      assign_clamped(s.rounds, v);
+    };
+  } else {
+    throw std::invalid_argument("ParameterGrid::axis: unknown axis '" + name +
+                                "'");
+  }
+
+  axes_.push_back(Axis{name, std::move(values), setter});
+  return *this;
+}
+
+std::vector<std::string> ParameterGrid::names() const {
+  std::vector<std::string> result;
+  result.reserve(axes_.size());
+  for (const Axis& axis : axes_) result.push_back(axis.name);
+  return result;
+}
+
+const std::vector<double>& ParameterGrid::values(const std::string& name) const {
+  for (const Axis& axis : axes_) {
+    if (axis.name == name) return axis.values;
+  }
+  throw std::invalid_argument("ParameterGrid::values: no axis '" + name + "'");
+}
+
+std::size_t ParameterGrid::size() const noexcept {
+  std::size_t product = 1;
+  for (const Axis& axis : axes_) product *= axis.values.size();
+  return product;
+}
+
+GridPoint ParameterGrid::point(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("ParameterGrid::point: index out of range");
+  }
+  GridPoint result;
+  result.index = index;
+  result.spec = base_;
+  result.values.resize(axes_.size());
+  // Row-major decode: last axis varies fastest.
+  std::size_t remainder = index;
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    const Axis& axis = axes_[i];
+    const std::size_t which = remainder % axis.values.size();
+    remainder /= axis.values.size();
+    result.values[i] = axis.values[which];
+    axis.setter(result.spec, axis.values[which]);
+  }
+  return result;
+}
+
+std::vector<GridPoint> ParameterGrid::expand() const {
+  std::vector<GridPoint> points;
+  const std::size_t count = size();
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) points.push_back(point(i));
+  return points;
+}
+
+}  // namespace p2pvod::sweep

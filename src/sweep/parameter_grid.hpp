@@ -1,0 +1,72 @@
+// Cartesian parameter grids over analysis::TrialSpec axes.
+//
+// A grid is a base TrialSpec plus named value axes; expansion is row-major
+// with the FIRST axis slowest, so every grid point has a stable index that is
+// independent of how a sweep later schedules the work. Figure benches build a
+// grid per figure (e.g. axis "u" for the threshold plot, axes "n" x "u" for
+// catalog scaling) and hand it to SweepRunner.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/calibrate.hpp"
+
+namespace p2pvod::sweep {
+
+/// One cell of an expanded grid: its row-major index, the raw axis values
+/// that produced it (grid axis order), and the TrialSpec with those values
+/// applied to the grid's base spec.
+struct GridPoint {
+  std::size_t index = 0;
+  std::vector<double> values;
+  analysis::TrialSpec spec;
+};
+
+class ParameterGrid {
+ public:
+  explicit ParameterGrid(analysis::TrialSpec base = {});
+
+  /// Append an axis addressing a TrialSpec field by name. Supported names:
+  /// "n", "u", "d", "mu", "c", "k", "m" (the m_override), "duration",
+  /// "rounds". Values are doubles; integer fields truncate, clamping to the
+  /// field's range. Throws std::invalid_argument on an unknown or duplicate
+  /// name, an empty value list, or a NaN value. Returns *this for chaining.
+  ParameterGrid& axis(const std::string& name, std::vector<double> values);
+
+  [[nodiscard]] const analysis::TrialSpec& base() const noexcept {
+    return base_;
+  }
+  [[nodiscard]] std::size_t axis_count() const noexcept {
+    return axes_.size();
+  }
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Values of the named axis; throws std::invalid_argument if absent.
+  [[nodiscard]] const std::vector<double>& values(const std::string& name) const;
+
+  /// Number of grid points: product of axis sizes (1 for an axis-less grid,
+  /// which still sweeps the bare base spec).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Materialize point `index` (row-major, first axis slowest). Throws
+  /// std::out_of_range when index >= size().
+  [[nodiscard]] GridPoint point(std::size_t index) const;
+
+  /// All points in index order.
+  [[nodiscard]] std::vector<GridPoint> expand() const;
+
+ private:
+  using Setter = void (*)(analysis::TrialSpec&, double);
+
+  struct Axis {
+    std::string name;
+    std::vector<double> values;
+    Setter setter;
+  };
+
+  analysis::TrialSpec base_;
+  std::vector<Axis> axes_;
+};
+
+}  // namespace p2pvod::sweep

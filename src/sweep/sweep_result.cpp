@@ -1,0 +1,54 @@
+#include "sweep/sweep_result.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2pvod::sweep {
+
+SweepResult::SweepResult(std::vector<std::string> axis_names,
+                         std::vector<std::string> metric_names,
+                         std::size_t rows)
+    : axis_names_(std::move(axis_names)),
+      metric_names_(std::move(metric_names)),
+      rows_(rows) {}
+
+void SweepResult::set_row(std::size_t index, GridPoint point,
+                          std::vector<double> metrics) {
+  if (metrics.size() != metric_names_.size()) {
+    throw std::invalid_argument(
+        "SweepResult::set_row: expected " +
+        std::to_string(metric_names_.size()) + " metrics, got " +
+        std::to_string(metrics.size()));
+  }
+  Row& row = rows_.at(index);
+  row.point = std::move(point);
+  row.metrics = std::move(metrics);
+}
+
+double SweepResult::metric(std::size_t row, const std::string& name) const {
+  for (std::size_t i = 0; i < metric_names_.size(); ++i) {
+    if (metric_names_[i] == name) return rows_.at(row).metrics.at(i);
+  }
+  throw std::invalid_argument("SweepResult::metric: no metric '" + name + "'");
+}
+
+util::Table SweepResult::to_table(std::string title, int precision) const {
+  util::Table table(std::move(title));
+  std::vector<std::string> header = axis_names_;
+  header.insert(header.end(), metric_names_.begin(), metric_names_.end());
+  table.set_header(std::move(header));
+  for (const Row& row : rows_) {
+    table.begin_row();
+    for (const double value : row.point.values) table.cell(value, precision);
+    for (const double value : row.metrics) table.cell(value, precision);
+  }
+  return table;
+}
+
+std::string SweepResult::to_csv() const { return to_table().to_csv(); }
+
+void SweepResult::write_csv(const std::string& path) const {
+  to_table().write_csv(path);
+}
+
+}  // namespace p2pvod::sweep

@@ -1,0 +1,63 @@
+// Aggregated output of a parameter sweep: one row per grid point (in grid
+// index order), one numeric column per metric. Converts to util::Table for
+// aligned printing and CSV export so figure benches keep a single output
+// path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/parameter_grid.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::sweep {
+
+class SweepResult {
+ public:
+  struct Row {
+    GridPoint point;
+    std::vector<double> metrics;
+  };
+
+  SweepResult() = default;
+  SweepResult(std::vector<std::string> axis_names,
+              std::vector<std::string> metric_names, std::size_t rows);
+
+  [[nodiscard]] const std::vector<std::string>& axis_names() const noexcept {
+    return axis_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& metric_names() const noexcept {
+    return metric_names_;
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+  /// Throws std::out_of_range on a bad index.
+  [[nodiscard]] const Row& row(std::size_t index) const {
+    return rows_.at(index);
+  }
+
+  /// Store the outcome of grid point `index`. Called by SweepRunner (possibly
+  /// from several threads, each on a distinct index — rows are preallocated so
+  /// no rehashing/reallocation races exist).
+  void set_row(std::size_t index, GridPoint point, std::vector<double> metrics);
+
+  /// Metric value by name; throws std::invalid_argument on an unknown name.
+  [[nodiscard]] double metric(std::size_t row, const std::string& name) const;
+
+  /// Axis columns followed by metric columns. `precision` applies to metric
+  /// and axis cells alike (Table trims trailing zeros).
+  [[nodiscard]] util::Table to_table(std::string title = {},
+                                     int precision = 4) const;
+  [[nodiscard]] std::string to_csv() const;
+  /// Write CSV to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> axis_names_;
+  std::vector<std::string> metric_names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace p2pvod::sweep

@@ -1,0 +1,27 @@
+#include "sweep/sweep_runner.hpp"
+
+#include <utility>
+
+namespace p2pvod::sweep {
+
+SweepResult SweepRunner::run(const ParameterGrid& grid,
+                             std::vector<std::string> metric_names,
+                             const PointFn& fn) const {
+  const std::size_t count = grid.size();
+  SweepResult result(grid.names(), std::move(metric_names), count);
+
+  util::parallel_for(
+      0, count,
+      [&](std::size_t index) {
+        GridPoint point = grid.point(index);
+        std::vector<double> metrics =
+            fn(point, point_seed(options_.base_seed, index));
+        // set_row validates the metric count.
+        result.set_row(index, std::move(point), std::move(metrics));
+      },
+      options_.pool);
+
+  return result;
+}
+
+}  // namespace p2pvod::sweep

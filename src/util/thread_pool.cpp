@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
 
 namespace p2pvod::util {
 
@@ -36,11 +38,31 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("P2PVOD_THREADS"); env != nullptr) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      // Cap far above any sane machine: a garbage value (or strtol
+      // saturation) must not make the constructor spawn billions of threads.
+      if (parsed > 0) {
+        return static_cast<std::size_t>(std::min(parsed, 512L));
+      }
+    }
+    return std::size_t{0};  // hardware_concurrency
+  }());
   return pool;
 }
 
+namespace {
+// Which pool (if any) owns the current thread; set once per worker thread.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_current_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -60,7 +82,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   if (pool == nullptr) pool = &ThreadPool::global();
   const std::size_t count = end - begin;
-  if (pool->size() <= 1 || count <= 1) {
+  if (pool->size() <= 1 || count <= 1 || pool->on_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -77,7 +99,18 @@ void parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
-  for (auto& future : futures) future.get();
+  // Drain every chunk before rethrowing: bailing out on the first exception
+  // would destroy `body` (and the caller's captured state) while other
+  // workers are still executing chunks that reference them.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace p2pvod::util

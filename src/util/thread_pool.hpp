@@ -30,7 +30,15 @@ class ThreadPool {
   /// Submit a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
-  /// Global pool shared by the library's parallel helpers.
+  /// True when the calling thread is one of this pool's workers. Parallel
+  /// helpers use this to degrade to a serial loop instead of deadlocking:
+  /// a worker that blocked on nested futures would wait for queue slots that
+  /// only it could drain.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+  /// Global pool shared by the library's parallel helpers. Sized from the
+  /// P2PVOD_THREADS environment variable when set (> 0), else from
+  /// hardware_concurrency.
   static ThreadPool& global();
 
  private:

@@ -1,0 +1,276 @@
+// Tests for the parameter-sweep engine: grid expansion, deterministic
+// per-point seeding, and scheduling-independent results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/calibrate.hpp"
+#include "sweep/parameter_grid.hpp"
+#include "sweep/sweep_result.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sw = p2pvod::sweep;
+namespace u = p2pvod::util;
+
+namespace {
+
+sw::ParameterGrid three_axis_grid() {
+  p2pvod::analysis::TrialSpec base;
+  base.n = 10;
+  sw::ParameterGrid grid(base);
+  grid.axis("u", {0.5, 1.5})
+      .axis("k", {2, 3, 4})
+      .axis("rounds", {8, 16, 24, 32});
+  return grid;
+}
+
+}  // namespace
+
+TEST(ParameterGrid, EmptyGridIsSingleBasePoint) {
+  p2pvod::analysis::TrialSpec base;
+  base.n = 77;
+  base.u = 2.5;
+  const sw::ParameterGrid grid(base);
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.axis_count(), 0u);
+  const auto point = grid.point(0);
+  EXPECT_EQ(point.index, 0u);
+  EXPECT_TRUE(point.values.empty());
+  EXPECT_EQ(point.spec.n, 77u);
+  EXPECT_DOUBLE_EQ(point.spec.u, 2.5);
+}
+
+TEST(ParameterGrid, SizeIsProductOfAxisSizes) {
+  const auto grid = three_axis_grid();
+  EXPECT_EQ(grid.axis_count(), 3u);
+  EXPECT_EQ(grid.size(), 2u * 3u * 4u);
+  EXPECT_EQ(grid.expand().size(), 24u);
+}
+
+TEST(ParameterGrid, RowMajorOrderLastAxisFastest) {
+  const auto grid = three_axis_grid();
+  const auto points = grid.expand();
+  // index = ((ui * 3) + ki) * 4 + ri.
+  for (std::size_t ui = 0; ui < 2; ++ui) {
+    for (std::size_t ki = 0; ki < 3; ++ki) {
+      for (std::size_t ri = 0; ri < 4; ++ri) {
+        const std::size_t index = (ui * 3 + ki) * 4 + ri;
+        const auto& p = points[index];
+        EXPECT_EQ(p.index, index);
+        ASSERT_EQ(p.values.size(), 3u);
+        EXPECT_DOUBLE_EQ(p.values[0], ui == 0 ? 0.5 : 1.5);
+        EXPECT_DOUBLE_EQ(p.values[1], static_cast<double>(2 + ki));
+        EXPECT_DOUBLE_EQ(p.values[2], static_cast<double>(8 * (ri + 1)));
+      }
+    }
+  }
+}
+
+TEST(ParameterGrid, ValuesAreAppliedToSpecFields) {
+  p2pvod::analysis::TrialSpec base;
+  sw::ParameterGrid grid(base);
+  grid.axis("n", {64})
+      .axis("u", {1.25})
+      .axis("d", {6.0})
+      .axis("mu", {1.7})
+      .axis("c", {8})
+      .axis("k", {5})
+      .axis("m", {40})
+      .axis("duration", {13})
+      .axis("rounds", {39});
+  ASSERT_EQ(grid.size(), 1u);
+  const auto spec = grid.point(0).spec;
+  EXPECT_EQ(spec.n, 64u);
+  EXPECT_DOUBLE_EQ(spec.u, 1.25);
+  EXPECT_DOUBLE_EQ(spec.d, 6.0);
+  EXPECT_DOUBLE_EQ(spec.mu, 1.7);
+  EXPECT_EQ(spec.c, 8u);
+  EXPECT_EQ(spec.k, 5u);
+  EXPECT_EQ(spec.m_override, 40u);
+  EXPECT_EQ(spec.duration, 13);
+  EXPECT_EQ(spec.rounds, 39);
+  // m_override wins over the derived catalog.
+  EXPECT_EQ(spec.catalog(), 40u);
+}
+
+TEST(ParameterGrid, RejectsBadAxes) {
+  sw::ParameterGrid grid;
+  EXPECT_THROW(grid.axis("upload", {1.0}), std::invalid_argument);
+  EXPECT_THROW(grid.axis("u", {}), std::invalid_argument);
+  EXPECT_THROW(grid.axis("u", {1.0, std::nan("")}), std::invalid_argument);
+  grid.axis("u", {1.0, 2.0});
+  EXPECT_THROW(grid.axis("u", {3.0}), std::invalid_argument);
+  EXPECT_THROW(grid.point(2), std::out_of_range);
+  EXPECT_THROW((void)grid.values("k"), std::invalid_argument);
+  EXPECT_EQ(grid.values("u").size(), 2u);
+}
+
+TEST(ParameterGrid, OutOfRangeValuesClampToFieldLimits) {
+  sw::ParameterGrid grid;
+  grid.axis("n", {5e18}).axis("k", {-3.0}).axis("rounds", {1e20});
+  const auto spec = grid.point(0).spec;
+  EXPECT_EQ(spec.n, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(spec.k, 0u);
+  EXPECT_EQ(spec.rounds, std::numeric_limits<p2pvod::model::Round>::max());
+}
+
+TEST(SweepRunner, PointSeedsAreDeterministicAndDistinct) {
+  const std::uint64_t base = 0xABCDEF;
+  EXPECT_EQ(sw::SweepRunner::point_seed(base, 7),
+            sw::SweepRunner::point_seed(base, 7));
+  EXPECT_EQ(sw::SweepRunner::point_seed(base, 7),
+            u::child_seed(base, 7));
+  EXPECT_NE(sw::SweepRunner::point_seed(base, 0),
+            sw::SweepRunner::point_seed(base, 1));
+  EXPECT_NE(sw::SweepRunner::point_seed(base, 0),
+            sw::SweepRunner::point_seed(base + 1, 0));
+}
+
+TEST(SweepRunner, ResultsInGridOrderRegardlessOfThreadCount) {
+  sw::ParameterGrid grid;
+  grid.axis("u", {1.0, 1.1, 1.2, 1.3, 1.4}).axis("k", {1, 2, 3});
+
+  // Metric = pure function of point values and seed: any scheduling change
+  // that leaked into results would show up as a mismatch between pools.
+  const sw::SweepRunner::PointFn fn = [](const sw::GridPoint& point,
+                                         std::uint64_t seed) {
+    u::Rng rng(seed);
+    return std::vector<double>{
+        point.values[0] * 100.0 + point.values[1],
+        static_cast<double>(rng.next_below(1u << 20)),
+    };
+  };
+
+  u::ThreadPool serial(1);
+  u::ThreadPool wide(4);
+  const sw::SweepRunner runner_serial({0xFEED, &serial});
+  const sw::SweepRunner runner_wide({0xFEED, &wide});
+  const auto a = runner_serial.run(grid, {"value", "draw"}, fn);
+  const auto b = runner_wide.run(grid, {"value", "draw"}, fn);
+
+  ASSERT_EQ(a.row_count(), 15u);
+  ASSERT_EQ(b.row_count(), 15u);
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    EXPECT_EQ(a.row(i).point.index, i);
+    EXPECT_EQ(b.row(i).point.index, i);
+    EXPECT_EQ(a.row(i).point.values, b.row(i).point.values);
+    EXPECT_EQ(a.row(i).metrics, b.row(i).metrics);
+  }
+  // Identical base seed -> identical RNG streams -> identical draws on a
+  // re-run; a different base seed changes them.
+  const auto c = runner_wide.run(grid, {"value", "draw"}, fn);
+  const sw::SweepRunner reseeded({0xBEEF, &wide});
+  const auto d = reseeded.run(grid, {"value", "draw"}, fn);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    EXPECT_EQ(b.row(i).metrics, c.row(i).metrics);
+    if (c.row(i).metrics[1] != d.row(i).metrics[1]) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(SweepRunner, NestedParallelHelpersDoNotDeadlock) {
+  // Each point runs a Calibrator-style nested parallel_map on the SAME pool
+  // the sweep is batched onto; the worker-thread guard must degrade it to a
+  // serial loop rather than deadlocking.
+  u::ThreadPool pool(3);
+  sw::ParameterGrid grid;
+  grid.axis("k", {1, 2, 3, 4, 5, 6});
+  const sw::SweepRunner runner({0x11, &pool});
+  const auto result = runner.run(
+      grid, {"sum"},
+      [&pool](const sw::GridPoint& point, std::uint64_t) {
+        const auto parts = u::parallel_map<double>(
+            8, [&](std::size_t i) {
+              return point.values[0] * static_cast<double>(i);
+            },
+            &pool);
+        double sum = 0.0;
+        for (const double part : parts) sum += part;
+        return std::vector<double>{sum};
+      });
+  for (std::size_t i = 0; i < result.row_count(); ++i) {
+    EXPECT_DOUBLE_EQ(result.row(i).metrics[0],
+                     result.row(i).point.values[0] * 28.0);
+  }
+}
+
+TEST(SweepRunner, CalibratorTrialsMatchSerialCalls) {
+  // A sweep over u must reproduce exactly what direct serial Calibrator
+  // calls produce for the same specs and seeds (this is the property the
+  // figure benches rely on).
+  p2pvod::analysis::TrialSpec base;
+  base.n = 12;
+  base.d = 2.0;
+  base.c = 2;
+  base.k = 2;
+  base.duration = 4;
+  base.rounds = 8;
+  base.suite = p2pvod::analysis::WorkloadSuite::kFlashCrowd;
+
+  sw::ParameterGrid grid(base);
+  grid.axis("u", {0.5, 1.5, 3.0});
+
+  u::ThreadPool pool(4);
+  const sw::SweepRunner runner({0x42, &pool});
+  const auto result = runner.run(
+      grid, {"rate"},
+      [&pool](const sw::GridPoint& point, std::uint64_t seed) {
+        const auto rate = p2pvod::analysis::Calibrator::success_rate(
+            point.spec, 6, seed, &pool);
+        return std::vector<double>{rate.estimate};
+      });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    auto spec = grid.point(i).spec;
+    const auto expected = p2pvod::analysis::Calibrator::success_rate(
+        spec, 6, sw::SweepRunner::point_seed(0x42, i));
+    EXPECT_DOUBLE_EQ(result.row(i).metrics[0], expected.estimate) << i;
+  }
+}
+
+TEST(SweepResult, TableAndCsvShape) {
+  sw::ParameterGrid grid;
+  grid.axis("u", {1.0, 2.0}).axis("k", {3});
+  u::ThreadPool pool(1);
+  const sw::SweepRunner runner({1, &pool});
+  const auto result =
+      runner.run(grid, {"sum", "prod"},
+                 [](const sw::GridPoint& p, std::uint64_t) {
+                   return std::vector<double>{p.values[0] + p.values[1],
+                                              p.values[0] * p.values[1]};
+                 });
+  EXPECT_EQ(result.metric(1, "sum"), 5.0);
+  EXPECT_EQ(result.metric(1, "prod"), 6.0);
+  EXPECT_THROW((void)result.metric(0, "nope"), std::invalid_argument);
+
+  const auto table = result.to_table("title");
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 4u);
+  const std::string csv = result.to_csv();
+  EXPECT_NE(csv.find("u,k,sum,prod"), std::string::npos);
+  EXPECT_NE(csv.find("2,3,5,6"), std::string::npos);
+}
+
+TEST(SweepRunner, WrongMetricCountThrows) {
+  sw::ParameterGrid grid;
+  grid.axis("u", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
+  // Multi-thread pool on purpose: the throw must propagate only after every
+  // in-flight chunk has drained (parallel_for keeps the captured state alive
+  // until then).
+  u::ThreadPool pool(4);
+  const sw::SweepRunner runner({1, &pool});
+  EXPECT_THROW(
+      (void)runner.run(grid, {"a", "b"},
+                       [](const sw::GridPoint&, std::uint64_t) {
+                         return std::vector<double>{1.0};
+                       }),
+      std::invalid_argument);
+}
