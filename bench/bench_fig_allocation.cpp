@@ -1,103 +1,6 @@
-// E6 — permutation vs independent allocation (§2.1 / Theorem 1 remark).
-//
-// The permutation allocation loads every box with exactly d·c replicas; the
-// independent allocation concentrates only when c = Ω(log n) — below that,
-// box loads (and hence serving hot-spots) are visibly unbalanced. We report
-// load-balance statistics and full-suite feasibility for both schemes, plus
-// the deterministic round-robin placement as a control.
-#include <cmath>
-#include <iostream>
+// Thin shim: the E6 allocation figure lives in the scenario registry
+// (src/scenario/figures/allocation.cpp). `p2pvod_bench allocation` is the
+// primary entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "alloc/allocator.hpp"
-#include "analysis/calibrate.hpp"
-#include "bench_common.hpp"
-#include "model/catalog.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace p2pvod;
-  bench::banner(
-      "E6 / allocation figure",
-      "load balance & feasibility: permutation vs independent vs round-robin");
-
-  const std::uint32_t trials = bench::scaled(4, 2);
-  const double d = 4.0;
-
-  // At the paper's operating point the catalog identity m = d*n/k fills
-  // every slot: the permutation allocation is perfectly balanced by
-  // construction, while the independent allocation needs more capacity than
-  // d*c on some box — the overflow that forces c = Omega(log n).
-  util::Table loads("full occupancy m=d*n/k (k=4): permutation balance vs "
-                    "independent overflow (mean over " +
-                    std::to_string(trials) + " seeds)");
-  loads.set_header({"scheme", "n", "c", "nominal slots d*c", "max load",
-                    "overflow max/(d*c)", "repl min..max"});
-  for (const std::uint32_t n : {32u, 128u}) {
-    for (const std::uint32_t c : {2u, 8u, 32u}) {
-      const std::uint32_t k = 4;
-      const auto m = static_cast<std::uint32_t>(d * n / k);
-      const model::Catalog catalog(m, c, 16);
-      const auto profile = model::CapacityProfile::homogeneous(n, 1.5, d);
-      // For the independent scheme, measure the *unconstrained* bin loads:
-      // place with 8x headroom and compare the max against the nominal d*c.
-      const auto roomy = model::CapacityProfile::homogeneous(n, 1.5, 8 * d);
-      const double nominal = d * c;
-      for (const auto scheme :
-           {alloc::Scheme::kPermutation, alloc::Scheme::kIndependent,
-            alloc::Scheme::kRoundRobin}) {
-        double max_load = 0.0;
-        std::uint32_t rep_min = 0xffffffffu, rep_max = 0;
-        for (std::uint32_t t = 0; t < trials; ++t) {
-          util::Rng rng(0xE600 + t);
-          const auto& place_profile =
-              scheme == alloc::Scheme::kIndependent ? roomy : profile;
-          const auto allocation = alloc::make_allocator(scheme)->allocate(
-              catalog, place_profile, k, rng);
-          max_load += allocation.max_slot_usage();
-          rep_min = std::min(rep_min, allocation.min_replication());
-          rep_max = std::max(rep_max, allocation.max_replication());
-        }
-        max_load /= trials;
-        loads.begin_row()
-            .cell(alloc::scheme_name(scheme))
-            .cell(static_cast<std::uint64_t>(n))
-            .cell(static_cast<std::uint64_t>(c))
-            .cell(nominal, 4)
-            .cell(max_load, 4)
-            .cell(max_load / nominal, 3)
-            .cell(std::to_string(rep_min) + ".." + std::to_string(rep_max));
-      }
-    }
-  }
-  p2pvod::bench::emit(loads, "E6_loads");
-
-  std::cout << '\n';
-  util::Table feas("full-suite success rate (n=48, u=1.5, c=4, k=6)");
-  feas.set_header({"scheme", "success rate"});
-  analysis::TrialSpec spec;
-  spec.n = bench::scaled(48, 24);
-  spec.u = 1.5;
-  spec.d = d;
-  spec.mu = 1.3;
-  spec.c = 4;
-  spec.k = 6;
-  spec.duration = 10;
-  spec.rounds = 30;
-  spec.suite = analysis::WorkloadSuite::kFull;
-  for (const auto scheme :
-       {alloc::Scheme::kPermutation, alloc::Scheme::kIndependent,
-        alloc::Scheme::kRoundRobin}) {
-    spec.scheme = scheme;
-    const auto rate =
-        analysis::Calibrator::success_rate(spec, trials * 2, 0xE6);
-    feas.begin_row().cell(alloc::scheme_name(scheme)).cell(rate.estimate, 3);
-  }
-  p2pvod::bench::emit(feas, "E6_feasibility");
-  std::cout << "\nExpected shape: permutation and round-robin overflow "
-               "exactly 1.0 (every box\nholds exactly d*c replicas); the "
-               "independent scheme overflows the nominal\ncapacity by a "
-               "factor that shrinks as c grows — the balls-in-bins "
-               "deviation\nbehind Theorem 1's extra c = Omega(log n) "
-               "requirement for independent placement.\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("allocation"); }

@@ -1,81 +1,6 @@
-// E11 — random allocation vs the full-replication baseline (Suh et al. [22]).
-//
-// The baseline stores a 1/c slice of every video on every box: it survives
-// even u < 1 (pure sourcing, massive per-stripe replication) but its catalog
-// is pinned at d·c regardless of n — exactly the §1.3 constant-catalog
-// regime the paper improves on. The paper's random allocation needs u > 1
-// but scales the catalog linearly in n.
-#include <iostream>
+// Thin shim: the E11 baseline figure lives in the scenario registry
+// (src/scenario/figures/baseline.cpp). `p2pvod_bench baseline` is the
+// primary entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "alloc/full_replication.hpp"
-#include "alloc/permutation.hpp"
-#include "bench_common.hpp"
-#include "sim/simulator.hpp"
-#include "util/table.hpp"
-#include "workload/limiter.hpp"
-#include "workload/sequential.hpp"
-
-namespace {
-using namespace p2pvod;
-
-bool survives(const model::Catalog& catalog,
-              const model::CapacityProfile& profile,
-              const alloc::Allocation& allocation, std::uint64_t seed) {
-  sim::PreloadingStrategy strategy;
-  sim::Simulator simulator(catalog, profile, allocation, strategy);
-  workload::SequentialViewer viewers(seed, 0.3);
-  workload::GrowthLimiter limited(viewers, 1.3);
-  return simulator.run(limited, 48).success;
-}
-}  // namespace
-
-int main() {
-  bench::banner("E11 / baseline figure",
-                "catalog: full replication (constant) vs random (linear in n)");
-
-  const double d = 4.0;
-  const std::uint32_t c = 4, k = 6;
-
-  util::Table table("catalog size and survival (binge workload, mu=1.3)");
-  table.set_header({"n", "scheme", "u", "catalog m", "m/n", "survives"});
-  for (const std::uint32_t n : {16u, 32u, 64u, bench::scaled(128, 96)}) {
-    // Full replication: m = d*c, works below the threshold.
-    {
-      const auto profile = model::CapacityProfile::homogeneous(n, 0.75, d);
-      const auto m = alloc::FullReplicationAllocator::max_catalog(profile, c);
-      const model::Catalog catalog(m, c, 12);
-      util::Rng rng(0xE1100 + n);
-      const auto allocation = alloc::FullReplicationAllocator().allocate(
-          catalog, profile, 1, rng);
-      table.begin_row()
-          .cell(static_cast<std::uint64_t>(n))
-          .cell("full-replication [22]")
-          .cell(0.75)
-          .cell(static_cast<std::uint64_t>(m))
-          .cell(static_cast<double>(m) / n, 3)
-          .cell(survives(catalog, profile, allocation, 0xE11A + n));
-    }
-    // Random permutation allocation: m = d*n/k, needs u > 1.
-    {
-      const auto profile = model::CapacityProfile::homogeneous(n, 1.5, d);
-      const auto m = static_cast<std::uint32_t>(d * n / k);
-      const model::Catalog catalog(m, c, 12);
-      util::Rng rng(0xE1200 + n);
-      const auto allocation =
-          alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
-      table.begin_row()
-          .cell(static_cast<std::uint64_t>(n))
-          .cell("random permutation")
-          .cell(1.5)
-          .cell(static_cast<std::uint64_t>(m))
-          .cell(static_cast<double>(m) / n, 3)
-          .cell(survives(catalog, profile, allocation, 0xE11B + n));
-    }
-  }
-  p2pvod::bench::emit(table, "E11_baseline");
-  std::cout << "\nExpected shape: the baseline's catalog column is constant "
-               "(d*c, independent of\nn) while the random allocation's grows "
-               "linearly (m/n constant); both survive\ntheir respective "
-               "operating points.\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("baseline"); }

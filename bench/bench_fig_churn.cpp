@@ -1,113 +1,6 @@
-// E13 (extension, not in the paper) — churn tolerance of the static
-// allocation.
-//
-// The paper's allocation is computed once and never repaired; the natural
-// systems question is how much box churn it absorbs before repair would be
-// needed. Each round every online box fails independently with probability
-// p (and recovers after `outage` rounds); a Zipf audience keeps demanding.
-// The replication factor k is the knob: more replicas per stripe keep
-// stripes reachable through failures. We report playback continuity
-// (fraction of chunk deadlines met, non-strict mode).
-#include <iostream>
+// Thin shim: the E13 churn figure lives in the scenario registry
+// (src/scenario/figures/churn.cpp). `p2pvod_bench churn` is the primary
+// entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "alloc/permutation.hpp"
-#include "bench_common.hpp"
-#include "sim/simulator.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "workload/zipf.hpp"
-
-namespace {
-
-using namespace p2pvod;
-
-struct ChurnOutcome {
-  double continuity = 0.0;
-  double failures = 0.0;
-  double aborted = 0.0;
-};
-
-ChurnOutcome run_churn(std::uint32_t n, std::uint32_t k, double fail_prob,
-                       model::Round outage, std::uint32_t trials) {
-  const std::uint32_t c = 4;
-  const double d = 4.0;
-  const auto m = std::max<std::uint32_t>(
-      1, static_cast<std::uint32_t>(d * n / k));
-  const model::Catalog catalog(m, c, 12);
-  const auto profile = model::CapacityProfile::homogeneous(n, 2.0, d);
-
-  ChurnOutcome out;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    util::Rng rng(0xE1300 + t);
-    const auto allocation =
-        alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
-    sim::PreloadingStrategy strategy;
-    sim::SimulatorOptions options;
-    options.strict = false;
-    sim::Simulator simulator(catalog, profile, allocation, strategy, options);
-    workload::ZipfDemand audience(m, 0.8, 0.15, 0xE13AA + t);
-
-    std::vector<model::Round> down_until(n, -1);
-    for (model::Round round = 0; round < 72; ++round) {
-      for (model::BoxId b = 0; b < n; ++b) {
-        if (down_until[b] >= 0 && round >= down_until[b]) {
-          simulator.set_box_online(b, true);
-          down_until[b] = -1;
-        } else if (down_until[b] < 0 && rng.next_bool(fail_prob)) {
-          simulator.set_box_online(b, false);
-          down_until[b] = round + outage;
-        }
-      }
-      simulator.step(audience.demands(simulator));
-    }
-    const auto& report = simulator.report();
-    out.continuity += report.continuity();
-    out.failures += static_cast<double>(report.box_failures);
-    out.aborted += static_cast<double>(report.sessions_aborted);
-  }
-  out.continuity /= trials;
-  out.failures /= trials;
-  out.aborted /= trials;
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("E13 / churn figure (extension)",
-                "playback continuity vs per-round failure probability and k");
-
-  const std::uint32_t n = bench::scaled(48, 24);
-  const std::uint32_t trials = bench::scaled(3, 2);
-  const model::Round outage = 6;
-
-  util::Table table("n=" + std::to_string(n) +
-                    ", u=2, c=4, outage=6 rounds, 72-round Zipf soak (" +
-                    std::to_string(trials) + " seeds)");
-  std::vector<std::string> header{"fail prob/round"};
-  for (const std::uint32_t k : {2u, 4u, 8u})
-    header.push_back("k=" + std::to_string(k) + " continuity");
-  header.push_back("failures (k=4)");
-  header.push_back("aborted (k=4)");
-  table.set_header(header);
-
-  for (const double p : {0.0, 0.002, 0.005, 0.01, 0.02, 0.05}) {
-    table.begin_row().cell(p);
-    ChurnOutcome mid{};
-    for (const std::uint32_t k : {2u, 4u, 8u}) {
-      const auto outcome = run_churn(n, k, p, outage, trials);
-      if (k == 4) mid = outcome;
-      table.cell(outcome.continuity, 4);
-    }
-    table.cell(mid.failures, 3);
-    table.cell(mid.aborted, 3);
-  }
-  p2pvod::bench::emit(table, "E13_churn");
-  std::cout << "\nExpected shape: continuity 1.0 with no churn, degrading as "
-               "the failure rate\ngrows; higher k tolerates visibly more "
-               "churn (a stripe stays reachable while\nany of its k holders "
-               "lives). Aborted sessions grow ~linearly with the failure\n"
-               "rate regardless of k (a failed viewer always loses its own "
-               "playback).\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("churn"); }

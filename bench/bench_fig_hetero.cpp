@@ -1,175 +1,6 @@
-// E7 — heterogeneous systems and upload compensation (§4, Theorem 2).
-//
-// Two-class fleets (poor u=0.5 boxes + rich boxes) with a growing poor
-// fraction. The §4 analysis says scalability needs u > 1 + Δ(1)/n, and that
-// a u*-compensated system (poor boxes relayed through rich ones) absorbs
-// adversarial demand. We compare:
-//   * relay strategy with compensation (the paper's §4 construction), vs
-//   * plain preloading ignoring heterogeneity (no compensation),
-// on the same fleet, allocation, and demand sequence.
-#include <iostream>
+// Thin shim: the E7 heterogeneous figure lives in the scenario registry
+// (src/scenario/figures/hetero.cpp). `p2pvod_bench hetero` is the primary
+// entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include <cmath>
-
-#include "alloc/permutation.hpp"
-#include "bench_common.hpp"
-#include "hetero/compensation.hpp"
-#include "hetero/relay.hpp"
-#include "sim/simulator.hpp"
-#include "util/table.hpp"
-#include "workload/demand.hpp"
-
-namespace {
-
-using namespace p2pvod;
-
-// The Section 4 lower-bound scenario, verbatim: "all rich boxes watch a video
-// they do not possess and poor boxes start to play the same video v at
-// maximum growth rate". Rich boxes binge distinct videos != v (consuming the
-// fleet's sourcing capacity); poor boxes flood v at growth µ.
-class Section4Adversary final : public workload::DemandGenerator {
- public:
-  Section4Adversary(std::uint32_t poor_count, double mu)
-      : poor_count_(poor_count), mu_(mu) {}
-
-  std::vector<sim::Demand> demands(const sim::Simulator& sim) override {
-    std::vector<sim::Demand> out;
-    const std::uint32_t n = sim.profile().size();
-    const std::uint32_t m = sim.catalog().video_count();
-    // Rich boxes (ids >= poor_count): distinct videos, never video 0.
-    for (model::BoxId b = poor_count_; b < n; ++b) {
-      if (!sim.box_idle(b)) continue;
-      if (m <= 1) break;
-      out.push_back(
-          {b, static_cast<model::VideoId>(1 + (b + epoch_) % (m - 1))});
-    }
-    ++epoch_;
-    // Poor boxes: flood video 0 at maximal growth.
-    const std::uint32_t f = sim.swarms().size(0);
-    const double target = std::ceil(std::max<double>(f, 1.0) * mu_);
-    std::uint32_t joins =
-        target <= f ? 0u : static_cast<std::uint32_t>(target) - f;
-    for (model::BoxId b = 0; b < poor_count_ && joins > 0; ++b) {
-      if (!sim.box_idle(b)) continue;
-      out.push_back({b, 0});
-      --joins;
-    }
-    return out;
-  }
-  std::string name() const override { return "section4-adversary"; }
-
- private:
-  std::uint32_t poor_count_;
-  double mu_;
-  std::uint64_t epoch_ = 0;
-};
-
-struct Outcome {
-  bool comp_feasible = true;
-  double success_rate = 0.0;
-  double continuity = 0.0;
-};
-
-Outcome run_fleet(const model::CapacityProfile& profile,
-                  std::uint32_t poor_count, bool compensated, double u_star,
-                  double mu, std::uint32_t trials) {
-  const std::uint32_t c = 16, k = 6;
-  const auto m = std::max<std::uint32_t>(
-      2, static_cast<std::uint32_t>(profile.average_storage() *
-                                    profile.size() / (2.0 * k)));
-  const model::Catalog catalog(m, c, 20);
-
-  Outcome out;
-  std::uint32_t wins = 0;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    util::Rng rng(0xE700 + t);
-    const auto allocation =
-        alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
-
-    std::unique_ptr<sim::RequestStrategy> strategy;
-    sim::SimulatorOptions options;
-    options.strict = false;  // measure continuity, not just pass/fail
-    std::optional<hetero::CompensationPlan> plan;
-    if (compensated) {
-      plan = hetero::Compensator::plan(profile, u_star, c, mu);
-      if (!plan) {
-        out.comp_feasible = false;
-        return out;
-      }
-      strategy = std::make_unique<hetero::RelayStrategy>(*plan);
-      options.capacity_override = plan->capacity_slots();
-    } else {
-      strategy = sim::make_strategy(sim::StrategyKind::kPreloading);
-    }
-    sim::Simulator simulator(catalog, profile, allocation, *strategy,
-                             options);
-    Section4Adversary adversary(poor_count, mu);
-    const auto report = simulator.run(adversary, 60);
-    if (report.chunks_stalled == 0) ++wins;
-    out.continuity += report.continuity();
-  }
-  out.success_rate = static_cast<double>(wins) / trials;
-  out.continuity /= trials;
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("E7 / heterogeneous figure",
-                "poor-box flash crowd: Section 4 relay compensation vs none");
-
-  const std::uint32_t n = bench::scaled(48, 24);
-  const std::uint32_t trials = bench::scaled(4, 2);
-  const double u_star = 1.5;
-
-  util::Table table(
-      "two-class fleet under the Section 4 adversary: rich boxes binge "
-      "distinct videos, poor boxes flood video 0 at growth mu");
-  table.set_header({"poor frac", "mu", "u avg", "Delta(1)/n", "u>1+D/n?",
-                    "comp feasible", "relay success", "relay continuity",
-                    "no-comp success", "no-comp continuity"});
-  for (const double frac : {0.15, 0.3, 0.45, 0.6, 0.8, 0.9, 0.95}) {
-    for (const double mu : {2.0}) {
-      const auto poor = static_cast<std::uint32_t>(frac * n);
-      const auto profile = model::CapacityProfile::two_class(
-          n, poor, 0.5, 1.5, 4.0, 12.0);
-      const double deficit =
-          profile.upload_deficit(1.0) / static_cast<double>(n);
-      const bool condition = profile.average_upload() > 1.0 + deficit;
-
-      const auto with = run_fleet(profile, poor, true, u_star, mu, trials);
-      const auto without =
-          run_fleet(profile, poor, false, u_star, mu, trials);
-      table.begin_row()
-          .cell(frac)
-          .cell(mu)
-          .cell(profile.average_upload(), 3)
-          .cell(deficit, 3)
-          .cell(condition)
-          .cell(with.comp_feasible)
-          .cell(with.comp_feasible ? util::Table::format_double(
-                                         with.success_rate, 2)
-                                   : std::string("-"))
-          .cell(with.comp_feasible ? util::Table::format_double(
-                                         with.continuity, 4)
-                                   : std::string("-"))
-          .cell(without.success_rate, 2)
-          .cell(without.continuity, 4);
-    }
-  }
-  p2pvod::bench::emit(table, "E7_hetero");
-  std::cout
-      << "\nExpected shape, three regimes:\n"
-         "  1. comp feasible (poor frac <= ~0.5): the relay system gives "
-         "full service\n     despite statically reserving upload — the "
-         "guarantee costs nothing here.\n"
-         "  2. comp infeasible but u comfortably above 1 + Delta(1)/n: the "
-         "plain strategy\n     still rides the aggregate headroom (the "
-         "Section 4 bound is about worst-case\n     sequences, which this "
-         "adversary approximates only at the margin).\n"
-         "  3. deficit regime (poor frac >= ~0.9, u < 1 + Delta(1)/n, "
-         "eventually u < 1):\n     the uncompensated fleet collapses — the "
-         "necessary condition of Section 4.\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("hetero"); }

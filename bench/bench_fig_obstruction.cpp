@@ -1,95 +1,6 @@
-// E10 — the first-moment obstruction bound (Lemma 4 / proof of Theorem 1).
-//
-// For a small system we put three curves side by side as k grows:
-//   * the exact numeric union bound P(N_k > 0) (Lemma 4's double sum),
-//   * the Monte-Carlo frequency of allocations admitting a *cold-start*
-//     obstruction (a defeating simultaneous burst — a lower bound on the true
-//     obstruction probability, since staged sequences are not probed),
-//   * the fraction of allocations defeated by the full simulated suite.
-// Expected: measured <= union bound once the bound leaves the trivial
-// regime, and all curves fall with k.
-#include <cmath>
-#include <iostream>
+// Thin shim: the E10 obstruction figure lives in the scenario registry
+// (src/scenario/figures/obstruction.cpp). `p2pvod_bench obstruction` is the
+// primary entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "alloc/permutation.hpp"
-#include "analysis/calibrate.hpp"
-#include "analysis/first_moment.hpp"
-#include "analysis/obstruction.hpp"
-#include "bench_common.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace p2pvod;
-  bench::banner("E10 / obstruction figure",
-                "P(N_k>0): union bound vs measured obstruction frequency");
-
-  const std::uint32_t n = bench::scaled(24, 16);
-  // c must satisfy c > (2µ²-1)/(u-1) for Lemma 4's ν to be positive; c=4 is
-  // the minimum at (u=1.5, µ=1.2).
-  const std::uint32_t c = 4;
-  const double d = 4.0, u = 1.5, mu = 1.2;
-  const std::uint32_t allocations = bench::scaled(24, 8);
-
-  util::Table table("n=" + std::to_string(n) + ", c=4, u=1.5, d=4, m=d*n/k; " +
-                    std::to_string(allocations) + " allocations per k");
-  table.set_header({"k", "m", "log10 union bound", "union bound (clamped)",
-                    "cold-burst freq", "sim-suite fail freq"});
-  for (const std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
-    const auto m = std::max<std::uint32_t>(
-        1, static_cast<std::uint32_t>(d * n / k));
-
-    analysis::FirstMomentParams fm;
-    fm.n = n;
-    fm.m = m;
-    fm.c = c;
-    fm.k = k;
-    fm.u = u;
-    fm.d = d;
-    fm.mu = mu;
-    const double bound = analysis::FirstMoment::probability_bound(fm);
-    const double log10_bound =
-        analysis::FirstMoment::log_union_bound(fm) / std::log(10.0);
-
-    const model::Catalog catalog(m, c, 10);
-    const auto profile = model::CapacityProfile::homogeneous(n, u, d);
-    std::uint32_t burst_hits = 0;
-    for (std::uint32_t a = 0; a < allocations; ++a) {
-      util::Rng rng(0xE1000 + a);
-      const auto allocation =
-          alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
-      const auto result = analysis::ObstructionSearch::monte_carlo(
-          catalog, profile, allocation, 12, rng);
-      if (result.infeasible > 0) ++burst_hits;
-    }
-
-    analysis::TrialSpec spec;
-    spec.n = n;
-    spec.u = u;
-    spec.d = d;
-    spec.mu = mu;
-    spec.c = c;
-    spec.k = k;
-    spec.m_override = m;
-    spec.duration = 10;
-    spec.rounds = 30;
-    spec.suite = analysis::WorkloadSuite::kFull;
-    const auto sim_rate =
-        analysis::Calibrator::success_rate(spec, allocations, 0xE10);
-
-    table.begin_row()
-        .cell(static_cast<std::uint64_t>(k))
-        .cell(static_cast<std::uint64_t>(m))
-        .cell(log10_bound, 4)
-        .cell(bound, 4)
-        .cell(static_cast<double>(burst_hits) / allocations, 3)
-        .cell(1.0 - sim_rate.estimate, 3);
-  }
-  p2pvod::bench::emit(table, "E10_obstruction");
-  std::cout << "\nExpected shape: the log10 of the union bound decreases "
-               "monotonically in k\n(the bound is asymptotic in n, so at "
-               "this toy n it only leaves the clamped\nregime for large k); "
-               "the measured obstruction frequencies sit far below it "
-               "and\nvanish almost immediately — the worst-case analysis is "
-               "extremely conservative.\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("obstruction"); }

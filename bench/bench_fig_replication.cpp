@@ -1,72 +1,6 @@
-// E4 — the replication factor k (Theorem 1).
-//
-// Theorem 1 prescribes k >= 5ν⁻¹ log d′ / log u′ replicas per stripe — a
-// worst-case constant. This experiment puts three quantities side by side
-// for a sweep of u:
-//   * the theorem's k (asymptotic, adversarial, with-high-probability),
-//   * the first-moment numeric k: smallest k whose union bound (the exact
-//     Lemma 4 sum at this finite n) drops below 1%,
-//   * the empirical minimum k that survives the simulated adversarial suite.
-// Expected shape: all three decrease sharply as u moves away from 1; the
-// theory dominates the numeric bound, which dominates the measured k.
-#include <iostream>
+// Thin shim: the E4 replication figure lives in the scenario registry
+// (src/scenario/figures/replication.cpp). `p2pvod_bench replication` is the
+// primary entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "analysis/bounds.hpp"
-#include "analysis/calibrate.hpp"
-#include "analysis/first_moment.hpp"
-#include "bench_common.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace p2pvod;
-  bench::banner("E4 / replication figure",
-                "replicas per stripe: Theorem 1 vs union bound vs measured");
-
-  const std::uint32_t trials = bench::scaled(4, 2);
-  const std::uint32_t n = bench::scaled(48, 24);
-  const double d = 4.0;
-  const double mu = 1.2;
-
-  util::Table table("k required at n=" + std::to_string(n) +
-                    ", d=4, mu=1.2 (c fixed per row at Theorem 1's choice)");
-  table.set_header({"u", "c", "Thm1 k", "union-bound k (P<1%)",
-                    "measured min k", "catalog m at measured k"});
-  for (const double u : {1.25, 1.5, 2.0, 3.0}) {
-    const auto bounds = analysis::Theorem1::evaluate({u, d, mu});
-    analysis::FirstMomentParams fm;
-    fm.n = n;
-    fm.c = bounds.c;
-    fm.u = u;
-    fm.d = d;
-    fm.mu = mu;
-    const auto k_union = analysis::FirstMoment::min_k_for_bound(
-        fm, 0.01, 1, static_cast<std::uint32_t>(d * n));
-
-    analysis::TrialSpec spec;
-    spec.n = n;
-    spec.u = u;
-    spec.d = d;
-    spec.mu = mu;
-    spec.c = std::min<std::uint32_t>(bounds.c, 8);  // keep runtime sane
-    spec.duration = 10;
-    spec.rounds = 30;
-    spec.suite = analysis::WorkloadSuite::kFull;
-    const auto measured = analysis::Calibrator::min_feasible_k(
-        spec, 1, static_cast<std::uint32_t>(d * n / 2), 1.0, trials, 0xE4);
-
-    table.begin_row()
-        .cell(u)
-        .cell(static_cast<std::uint64_t>(bounds.c))
-        .cell(bounds.valid ? std::to_string(bounds.k) : std::string("-"))
-        .cell(k_union == 0 ? std::string("> d*n")
-                           : std::to_string(k_union))
-        .cell(measured.k == 0 ? std::string("-")
-                              : std::to_string(measured.k))
-        .cell(static_cast<std::uint64_t>(measured.catalog));
-  }
-  p2pvod::bench::emit(table, "E4_replication");
-  std::cout << "\nExpected shape: theory k >> union-bound k >> measured k "
-               "(each layer sheds\nworst-case slack), and every column "
-               "shrinks as u grows away from the threshold.\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("replication"); }

@@ -1,111 +1,6 @@
-// E9 — constant start-up delay (§1.1, §3, §4).
-//
-// The model requires a constant start-up delay; the §3 preloading schedule
-// yields exactly 3 rounds (demand in [t−1,t[, preload at t, postponed at
-// t+1, playback from t+2), naive 2 rounds, and the §4 relay schedule for
-// poor boxes doubles the cadence (≈6 rounds). Measured across workloads.
-#include <iostream>
+// Thin shim: the E9 start-up delay figure lives in the scenario registry
+// (src/scenario/figures/startup_delay.cpp). `p2pvod_bench startup_delay` is
+// the primary entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "alloc/permutation.hpp"
-#include "bench_common.hpp"
-#include "hetero/compensation.hpp"
-#include "hetero/relay.hpp"
-#include "sim/simulator.hpp"
-#include "util/table.hpp"
-#include "workload/flash_crowd.hpp"
-#include "workload/limiter.hpp"
-#include "workload/sequential.hpp"
-#include "workload/zipf.hpp"
-
-namespace {
-using namespace p2pvod;
-
-void measure(util::Table& table, const std::string& label,
-             sim::RunReport report) {
-  const auto& h = report.startup_delay;
-  table.begin_row()
-      .cell(label)
-      .cell(h.total())
-      .cell(h.total() ? h.min() : 0)
-      .cell(h.total() ? h.percentile(0.5) : 0)
-      .cell(h.total() ? h.max() : 0)
-      .cell(h.total() ? h.mean() : 0.0, 4);
-}
-}  // namespace
-
-int main() {
-  bench::banner("E9 / start-up delay figure",
-                "constant start-up delay: 3 rounds (Sec. 3), x2 under relay");
-
-  const std::uint32_t n = bench::scaled(64, 32);
-  const std::uint32_t c = 4, k = 6;
-  const auto m = static_cast<std::uint32_t>(4.0 * n / k);
-  const model::Catalog catalog(m, c, 16);
-  const auto profile = model::CapacityProfile::homogeneous(n, 2.0, 4.0);
-  util::Rng rng(0xE9);
-  const auto allocation =
-      alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
-
-  util::Table table("start-up delay distribution (rounds)");
-  table.set_header({"scenario", "sessions", "min", "p50", "max", "mean"});
-
-  {
-    sim::PreloadingStrategy strategy;
-    sim::Simulator simulator(catalog, profile, allocation, strategy);
-    workload::ZipfDemand zipf(m, 0.8, 0.08, 0xE901);
-    workload::GrowthLimiter limited(zipf, 1.3);
-    measure(table, "preloading + zipf", simulator.run(limited, 60));
-  }
-  {
-    sim::PreloadingStrategy strategy;
-    sim::Simulator simulator(catalog, profile, allocation, strategy);
-    workload::FlashCrowd crowd(0, 1.6);
-    measure(table, "preloading + flash crowd", simulator.run(crowd, 48));
-  }
-  {
-    sim::PreloadingStrategy strategy;
-    sim::Simulator simulator(catalog, profile, allocation, strategy);
-    workload::SequentialViewer binge(0xE902, 0.4);
-    workload::GrowthLimiter limited(binge, 1.3);
-    measure(table, "preloading + binge", simulator.run(limited, 60));
-  }
-  {
-    sim::NaiveStrategy strategy;
-    sim::SimulatorOptions options;
-    options.strict = false;  // naive may stall; delays are still scheduled
-    sim::Simulator simulator(catalog, profile, allocation, strategy, options);
-    workload::ZipfDemand zipf(m, 0.8, 0.08, 0xE903);
-    workload::GrowthLimiter limited(zipf, 1.3);
-    measure(table, "naive + zipf", simulator.run(limited, 60));
-  }
-  {
-    // Heterogeneous: poor boxes relay through rich ones (delay doubles).
-    const auto hetero_profile =
-        model::CapacityProfile::two_class(n, n / 4, 0.5, 1.5, 4.0, 12.0);
-    const auto plan = hetero::Compensator::plan(hetero_profile, 1.5, 16, 1.0);
-    if (plan) {
-      const auto hm = std::max<std::uint32_t>(
-          2, static_cast<std::uint32_t>(hetero_profile.average_storage() * n /
-                                        (2.0 * k)));
-      const model::Catalog hetero_catalog(hm, 16, 20);
-      util::Rng hetero_rng(0xE904);
-      const auto hetero_allocation = alloc::PermutationAllocator().allocate(
-          hetero_catalog, hetero_profile, k, hetero_rng);
-      hetero::RelayStrategy strategy(*plan);
-      sim::SimulatorOptions options;
-      options.capacity_override = plan->capacity_slots();
-      options.strict = false;
-      sim::Simulator simulator(hetero_catalog, hetero_profile,
-                               hetero_allocation, strategy, options);
-      workload::ZipfDemand zipf(hm, 0.8, 0.08, 0xE905);
-      workload::GrowthLimiter limited(zipf, 1.2);
-      measure(table, "relay (Sec. 4) + zipf", simulator.run(limited, 60));
-    }
-  }
-  p2pvod::bench::emit(table, "E9_startup");
-  std::cout << "\nExpected shape: preloading rows pinned at 3 rounds for "
-               "every workload; naive\nat 2; the Section 4 relay schedule "
-               "roughly doubles the poor boxes' delay\n(max column ~6) while "
-               "rich boxes stay at 4 (postponed at t+2).\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("startup_delay"); }

@@ -1,88 +1,6 @@
-// E5 — swarm growth vs stripe count (Theorem 1 / Lemma 2).
-//
-// Theorem 1 needs c > (2µ²−1)/(u−1) stripes for the preloading strategy to
-// absorb swarms growing by µ each round. We drive a maximal-growth flash
-// crowd against fixed (n, u, k) for a (µ, c) grid and report survival —
-// the empirical frontier should track the theory's hyperbola, and the naive
-// strategy should fail almost everywhere (the §3 ablation).
-#include <iostream>
+// Thin shim: the E5 swarm-growth figure lives in the scenario registry
+// (src/scenario/figures/swarm_growth.cpp). `p2pvod_bench swarm_growth` is
+// the primary entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "alloc/permutation.hpp"
-#include "analysis/bounds.hpp"
-#include "bench_common.hpp"
-#include "sim/simulator.hpp"
-#include "util/table.hpp"
-#include "workload/flash_crowd.hpp"
-
-namespace {
-
-bool survives(std::uint32_t n, double u, double mu, std::uint32_t c,
-              std::uint32_t k, p2pvod::sim::StrategyKind kind,
-              std::uint64_t seed) {
-  using namespace p2pvod;
-  const auto m = std::max<std::uint32_t>(
-      1, static_cast<std::uint32_t>(4.0 * n / k));
-  const model::Catalog catalog(m, c, 16);
-  const auto profile = model::CapacityProfile::homogeneous(n, u, 4.0);
-  util::Rng rng(seed);
-  const auto allocation =
-      alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
-  const auto strategy = sim::make_strategy(kind);
-  sim::Simulator simulator(catalog, profile, allocation, *strategy);
-  workload::FlashCrowd crowd(0, mu);
-  return simulator.run(crowd, 48).success;
-}
-
-}  // namespace
-
-int main() {
-  using namespace p2pvod;
-  bench::banner("E5 / swarm-growth figure",
-                "flash-crowd survival over (mu, c); theory: c > (2mu^2-1)/(u-1)");
-
-  const std::uint32_t n = bench::scaled(96, 48);
-  const double u = 1.5;
-  const std::uint32_t k = 4;
-  const std::uint32_t trials = bench::scaled(3, 1);
-
-  util::Table table("preloading strategy, n=" + std::to_string(n) +
-                    ", u=1.5, k=4 (fraction of seeds surviving)");
-  std::vector<std::string> header{"mu", "theory c >"};
-  for (const std::uint32_t c : {1u, 2u, 4u, 8u, 16u})
-    header.push_back("c=" + std::to_string(c));
-  header.push_back("naive @ c=8");
-  table.set_header(header);
-
-  for (const double mu : {1.2, 1.5, 2.0, 3.0}) {
-    const double frontier = (2.0 * mu * mu - 1.0) / (u - 1.0);
-    table.begin_row().cell(mu).cell(frontier, 3);
-    for (const std::uint32_t c : {1u, 2u, 4u, 8u, 16u}) {
-      std::uint32_t wins = 0;
-      for (std::uint32_t t = 0; t < trials; ++t) {
-        if (survives(n, u, mu, c, k, sim::StrategyKind::kPreloading,
-                     0xE500 + t)) {
-          ++wins;
-        }
-      }
-      table.cell(static_cast<double>(wins) / trials, 2);
-    }
-    std::uint32_t naive_wins = 0;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      if (survives(n, u, mu, 8, k, sim::StrategyKind::kNaive, 0xE550 + t))
-        ++naive_wins;
-    }
-    table.cell(static_cast<double>(naive_wins) / trials, 2);
-  }
-  p2pvod::bench::emit(table, "E5_swarm_growth");
-  std::cout
-      << "\nExpected shape: c=1 fails at every mu — the effective upload "
-         "u' = floor(u*c)/c\ndegenerates to exactly 1, the threshold. "
-         "Survival then flips to 1 once c gives\nthe swarm headroom; the "
-         "empirical frontier is *looser* than the theory column\n(the "
-         "theorem quantifies over all adversaries, the flash crowd is just "
-         "the natural\nworst case for swarming). The naive strategy needs "
-         "far more slack: at mu=3 it\ncollapses where preloading still "
-         "survives, because same-wave joiners sit at\nidentical positions "
-         "and cannot serve each other.\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("swarm_growth"); }

@@ -1,89 +1,7 @@
-// E2 — the upload-bandwidth threshold (abstract, §1.3, Theorem 1).
-//
-// Sweep the normalized upload capacity u across 1.0 and measure the fraction
-// of (allocation, adversarial run) trials that survive. The paper predicts a
-// phase transition at u = 1: below it the avoider adversary starves any
-// linear catalog; above it a random allocation with constant k absorbs every
-// µ-bounded sequence with high probability.
-//
-// Protocol held fixed (c=4, k=6, m=d·n/k) so the only moving part is u. The
-// u grid runs on the sweep engine: points execute in parallel across cores,
-// with per-cell seeds pinned to 0xE2 (the sweep's derived seeds are ignored)
-// so the figure data is identical to the original serial harness.
-#include <cstdint>
-#include <iostream>
-#include <vector>
+// Thin shim: the E2 threshold figure lives in the scenario registry
+// (src/scenario/figures/threshold.cpp) and runs on the parallel sweep
+// engine. This binary is kept for muscle memory — `p2pvod_bench threshold`
+// is the primary entry point — and produces byte-identical output.
+#include "scenario/runner.hpp"
 
-#include "analysis/calibrate.hpp"
-#include "bench_common.hpp"
-#include "sweep/parameter_grid.hpp"
-#include "sweep/sweep_runner.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace p2pvod;
-  bench::banner("E2 / threshold figure",
-                "success probability vs u: phase transition at u = 1");
-
-  const std::uint32_t trials = bench::scaled(8, 2);
-  analysis::TrialSpec base;
-  base.n = bench::scaled(48, 24);
-  base.d = 4.0;
-  base.mu = 1.3;
-  base.c = 4;
-  base.k = 6;
-  base.duration = 12;
-  base.rounds = 36;
-
-  sweep::ParameterGrid grid(base);
-  grid.axis("u", {0.60, 0.80, 0.90, 0.95, 1.05, 1.10, 1.25, 1.50, 2.00,
-                  3.00});
-
-  // One grid point per u; the four workload suites are that point's metric
-  // columns (plus the Wilson interval of the full suite).
-  const sweep::SweepRunner runner;
-  const auto result = runner.run(
-      grid, {"avoider", "flash", "distinct", "full", "full_lo", "full_hi"},
-      [trials](const sweep::GridPoint& point, std::uint64_t /*seed*/) {
-        std::vector<double> metrics;
-        for (const auto suite :
-             {analysis::WorkloadSuite::kAvoider,
-              analysis::WorkloadSuite::kFlashCrowd,
-              analysis::WorkloadSuite::kDistinct,
-              analysis::WorkloadSuite::kFull}) {
-          auto spec = point.spec;
-          spec.suite = suite;
-          const auto rate =
-              analysis::Calibrator::success_rate(spec, trials, 0xE2);
-          metrics.push_back(rate.estimate);
-          if (suite == analysis::WorkloadSuite::kFull) {
-            metrics.push_back(rate.lower);
-            metrics.push_back(rate.upper);
-          }
-        }
-        return metrics;
-      });
-
-  util::Table table("success fraction over " + std::to_string(trials) +
-                    " seeds, n=" + std::to_string(base.n) +
-                    ", c=4, k=6, m=d*n/k");
-  table.set_header({"u", "avoider", "flash crowd", "distinct", "full suite",
-                    "full 95% CI"});
-  for (const auto& row : result.rows()) {
-    table.begin_row().cell(row.point.values[0]);
-    for (std::size_t metric = 0; metric < 4; ++metric) {
-      table.cell(row.metrics[metric], 3);
-    }
-    std::string interval = "[";
-    interval += util::Table::format_double(row.metrics[4], 2);
-    interval += ",";
-    interval += util::Table::format_double(row.metrics[5], 2);
-    interval += "]";
-    table.cell(interval);
-  }
-  p2pvod::bench::emit(table, "E2_threshold");
-  std::cout << "\nExpected shape: ~0 for u < 1 (the Section 1.3 avoider "
-               "argument), ~1 for u\ncomfortably above 1 (Theorem 1); the "
-               "transition sits at the threshold u = 1.\n";
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("threshold"); }

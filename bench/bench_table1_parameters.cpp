@@ -1,77 +1,6 @@
-// E1 — Table 1 of the paper: the model's key parameters, plus the derived
-// protocol values (ν, u′, d′, k, m) that Theorem 1/2 attach to three
-// reference configurations.
-#include <iostream>
+// Thin shim: the E1 Table-1 reproduction lives in the scenario registry
+// (src/scenario/figures/table1.cpp). `p2pvod_bench table1` is the primary
+// entry point; output is byte-identical.
+#include "scenario/runner.hpp"
 
-#include "analysis/bounds.hpp"
-#include "bench_common.hpp"
-#include "util/table.hpp"
-
-int main() {
-  using namespace p2pvod;
-  bench::banner("E1 / Table 1", "key parameters of the model");
-
-  util::Table glossary("Table 1 — key parameters");
-  glossary.set_header({"symbol", "meaning"});
-  glossary.add_row({"n", "number of boxes in the system"});
-  glossary.add_row({"m", "number of distinct videos stored (catalog size)"});
-  glossary.add_row({"d_b / d", "storage capacity of box b / average (videos)"});
-  glossary.add_row({"k", "duplicate copies per stripe (k ~ d*n/m)"});
-  glossary.add_row({"u_b / u", "upload capacity of box b / average (streams)"});
-  glossary.add_row({"c", "stripes per video (download all c in parallel)"});
-  glossary.add_row({"mu", "swarm growth bound: f(t+1) <= ceil(max(f(t),1)*mu)"});
-  glossary.add_row({"l", "minimal chunk size: l = 1/c when storing stripes"});
-  p2pvod::bench::emit(glossary, "E1_glossary");
-  std::cout << '\n';
-
-  util::Table derived("derived protocol values (Theorem 1, homogeneous)");
-  derived.set_header({"config", "u", "d", "mu", "c", "nu", "u'", "d'",
-                      "k bound", "k", "m @ n=10^5", "m @ n=10^6"});
-  struct Config {
-    const char* name;
-    double u, d, mu;
-  };
-  for (const Config& config : {Config{"DSL-tight", 1.25, 8.0, 1.1},
-                               Config{"DSL-comfortable", 1.5, 4.0, 1.2},
-                               Config{"fiber", 3.0, 4.0, 1.5}}) {
-    const auto b = analysis::Theorem1::evaluate(
-        {config.u, config.d, config.mu});
-    derived.begin_row()
-        .cell(config.name)
-        .cell(config.u)
-        .cell(config.d)
-        .cell(config.mu)
-        .cell(static_cast<std::uint64_t>(b.c))
-        .cell(b.nu, 3)
-        .cell(b.u_prime)
-        .cell(b.d_prime)
-        .cell(b.k_real, 5)
-        .cell(static_cast<std::uint64_t>(b.k))
-        .cell(static_cast<std::uint64_t>(b.catalog(100000)))
-        .cell(static_cast<std::uint64_t>(b.catalog(1000000)));
-  }
-  p2pvod::bench::emit(derived, "E1_theorem1");
-  std::cout << '\n';
-
-  util::Table hetero("derived protocol values (Theorem 2, heterogeneous)");
-  hetero.set_header({"config", "u*", "d", "mu", "c", "nu", "u'", "k bound",
-                     "k", "m @ n=10^6"});
-  for (const Config& config : {Config{"mixed-ADSL", 1.5, 4.0, 1.05},
-                               Config{"mixed-fast", 2.0, 4.0, 1.1}}) {
-    const auto b = analysis::Theorem2::evaluate(
-        {config.u, config.d, config.mu});
-    hetero.begin_row()
-        .cell(config.name)
-        .cell(config.u)
-        .cell(config.d)
-        .cell(config.mu)
-        .cell(static_cast<std::uint64_t>(b.c))
-        .cell(b.nu, 3)
-        .cell(b.u_prime)
-        .cell(b.k_real, 5)
-        .cell(static_cast<std::uint64_t>(b.k))
-        .cell(static_cast<std::uint64_t>(b.catalog(1000000)));
-  }
-  p2pvod::bench::emit(hetero, "E1_theorem2");
-  return 0;
-}
+int main() { return p2pvod::scenario::run_figure_main("table1"); }

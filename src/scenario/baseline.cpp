@@ -1,0 +1,231 @@
+#include "scenario/baseline.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace p2pvod::scenario {
+
+namespace {
+
+using util::json::Value;
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+std::string string_field(const Value& doc, const char* key) {
+  const Value* field = doc.find(key);
+  return field != nullptr && field->is_string() ? field->as_string()
+                                                : std::string("<missing>");
+}
+
+/// Names from a JSON string array, e.g. the "axes"/"metrics" stage fields.
+std::vector<std::string> name_list(const Value& stage, const char* key) {
+  std::vector<std::string> out;
+  if (const Value* list = stage.find(key);
+      list != nullptr && list->is_array()) {
+    for (const Value& entry : list->as_array()) {
+      out.push_back(entry.is_string() ? entry.as_string() : "?");
+    }
+  }
+  return out;
+}
+
+void diff_rows(const std::string& where, const Value& current_stage,
+               const Value& baseline_stage,
+               const std::vector<std::string>& metric_names,
+               const BaselineOptions& options,
+               std::vector<std::string>& violations) {
+  const Value* current_rows = current_stage.find("rows");
+  const Value* baseline_rows = baseline_stage.find("rows");
+  if (current_rows == nullptr || !current_rows->is_array() ||
+      baseline_rows == nullptr || !baseline_rows->is_array()) {
+    violations.push_back(where + ": missing rows array");
+    return;
+  }
+  if (current_rows->as_array().size() != baseline_rows->as_array().size()) {
+    violations.push_back(
+        where + ": row count changed (" +
+        std::to_string(current_rows->as_array().size()) + " vs baseline " +
+        std::to_string(baseline_rows->as_array().size()) +
+        ") — was the run scaled differently than the baseline?");
+    return;
+  }
+  for (std::size_t row = 0; row < current_rows->as_array().size(); ++row) {
+    const Value& current_row = current_rows->as_array()[row];
+    const Value& baseline_row = baseline_rows->as_array()[row];
+    const std::string row_where = where + " row " + std::to_string(row);
+
+    // Grid values must agree exactly-ish: a drifted axis means the scenario
+    // definition changed and metric comparisons would be apples to oranges.
+    const Value* current_values = current_row.find("values");
+    const Value* baseline_values = baseline_row.find("values");
+    if (current_values == nullptr || baseline_values == nullptr ||
+        !current_values->is_array() || !baseline_values->is_array() ||
+        current_values->as_array().size() !=
+            baseline_values->as_array().size()) {
+      violations.push_back(row_where + ": malformed grid values");
+      continue;
+    }
+    bool grid_changed = false;
+    for (std::size_t i = 0; i < current_values->as_array().size(); ++i) {
+      const double a = current_values->as_array()[i].as_number();
+      const double b = baseline_values->as_array()[i].as_number();
+      if (std::fabs(a - b) > 1e-12 + 1e-9 * std::fabs(b)) {
+        violations.push_back(row_where + ": grid value " + std::to_string(i) +
+                             " changed (" + format_value(a) + " vs baseline " +
+                             format_value(b) + ")");
+        grid_changed = true;
+      }
+    }
+    if (grid_changed) continue;
+
+    const Value* current_metrics = current_row.find("metrics");
+    const Value* baseline_metrics = baseline_row.find("metrics");
+    if (current_metrics == nullptr || baseline_metrics == nullptr ||
+        !current_metrics->is_array() || !baseline_metrics->is_array() ||
+        current_metrics->as_array().size() !=
+            baseline_metrics->as_array().size()) {
+      violations.push_back(row_where + ": malformed metrics");
+      continue;
+    }
+    for (std::size_t i = 0; i < current_metrics->as_array().size(); ++i) {
+      const Value& current_cell = current_metrics->as_array()[i];
+      const Value& baseline_cell = baseline_metrics->as_array()[i];
+      // NaN/Inf serialize as null; treat null==null as agreement.
+      if (current_cell.is_null() && baseline_cell.is_null()) continue;
+      if (current_cell.is_null() != baseline_cell.is_null()) {
+        violations.push_back(row_where + ": metric '" +
+                             (i < metric_names.size() ? metric_names[i]
+                                                      : std::to_string(i)) +
+                             "' became " +
+                             (current_cell.is_null() ? "non-finite" : "finite"));
+        continue;
+      }
+      const double a = current_cell.as_number();
+      const double b = baseline_cell.as_number();
+      if (std::fabs(a - b) > options.atol + options.rtol * std::fabs(b)) {
+        violations.push_back(
+            row_where + ": metric '" +
+            (i < metric_names.size() ? metric_names[i] : std::to_string(i)) +
+            "' regressed: " + format_value(a) + " vs baseline " +
+            format_value(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> diff_against_baseline(const Value& current,
+                                               const Value& baseline,
+                                               const BaselineOptions& options) {
+  std::vector<std::string> violations;
+  if (!current.is_object() || !baseline.is_object()) {
+    violations.push_back("malformed result document (not a JSON object)");
+    return violations;
+  }
+
+  const std::string id = string_field(current, "id");
+  const std::string baseline_id = string_field(baseline, "id");
+  if (id != baseline_id) {
+    violations.push_back("scenario id mismatch: '" + id + "' vs baseline '" +
+                         baseline_id + "'");
+    return violations;
+  }
+
+  // Comparing runs at different scales is meaningless; catch it up front
+  // with a clear message instead of a wall of per-row mismatches.
+  const Value* current_scale = current.find("scale");
+  const Value* baseline_scale = baseline.find("scale");
+  if (current_scale != nullptr && baseline_scale != nullptr &&
+      current_scale->is_number() && baseline_scale->is_number() &&
+      std::fabs(current_scale->as_number() - baseline_scale->as_number()) >
+          1e-12) {
+    violations.push_back(
+        id + ": scale mismatch (" + format_value(current_scale->as_number()) +
+        " vs baseline " + format_value(baseline_scale->as_number()) +
+        ") — rerun with P2PVOD_SCALE matching the baseline");
+    return violations;
+  }
+
+  const Value* current_stages = current.find("stages");
+  const Value* baseline_stages = baseline.find("stages");
+  if (current_stages == nullptr || !current_stages->is_array() ||
+      baseline_stages == nullptr || !baseline_stages->is_array()) {
+    violations.push_back(id + ": missing stages array");
+    return violations;
+  }
+  if (current_stages->as_array().size() != baseline_stages->as_array().size()) {
+    violations.push_back(id + ": stage count changed (" +
+                         std::to_string(current_stages->as_array().size()) +
+                         " vs baseline " +
+                         std::to_string(baseline_stages->as_array().size()) +
+                         ")");
+    return violations;
+  }
+
+  for (std::size_t s = 0; s < current_stages->as_array().size(); ++s) {
+    const Value& current_stage = current_stages->as_array()[s];
+    const Value& baseline_stage = baseline_stages->as_array()[s];
+    const std::string stage_name = string_field(current_stage, "name");
+    const std::string where = id + " stage '" + stage_name + "'";
+
+    if (stage_name != string_field(baseline_stage, "name")) {
+      violations.push_back(where + ": name changed (baseline '" +
+                           string_field(baseline_stage, "name") + "')");
+      continue;
+    }
+    const auto current_axes = name_list(current_stage, "axes");
+    if (current_axes != name_list(baseline_stage, "axes")) {
+      violations.push_back(where + ": axis names changed");
+      continue;
+    }
+    const auto metric_names = name_list(current_stage, "metrics");
+    if (metric_names != name_list(baseline_stage, "metrics")) {
+      violations.push_back(where + ": metric names changed");
+      continue;
+    }
+    diff_rows(where, current_stage, baseline_stage, metric_names, options,
+              violations);
+  }
+
+  if (options.wall_factor > 0.0) {
+    const Value* current_wall = current.find("wall_seconds");
+    const Value* baseline_wall = baseline.find("wall_seconds");
+    if (current_wall != nullptr && baseline_wall != nullptr &&
+        current_wall->is_number() && baseline_wall->is_number()) {
+      const double wall = current_wall->as_number();
+      const double budget = baseline_wall->as_number() * options.wall_factor +
+                            options.wall_slack;
+      if (wall > budget) {
+        std::ostringstream message;
+        message << id << ": wall time regressed: " << format_value(wall)
+                << "s vs baseline " << format_value(baseline_wall->as_number())
+                << "s (budget " << format_value(budget) << "s = baseline * "
+                << format_value(options.wall_factor) << " + "
+                << format_value(options.wall_slack) << "s)";
+        violations.push_back(message.str());
+      }
+    }
+  }
+
+  return violations;
+}
+
+std::vector<std::string> diff_against_baseline_file(
+    const Value& current, const std::string& baseline_path,
+    const BaselineOptions& options) {
+  try {
+    return diff_against_baseline(current, util::json::parse_file(baseline_path),
+                                 options);
+  } catch (const std::exception& error) {
+    return {std::string("cannot load baseline ") + baseline_path + ": " +
+            error.what()};
+  }
+}
+
+}  // namespace p2pvod::scenario

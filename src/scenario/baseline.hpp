@@ -1,0 +1,42 @@
+// Regression diff between a run's BENCH_<id>.json and a stored baseline.
+//
+// This is the hook CI uses for performance tracking: a perf-smoke job runs
+// `p2pvod_bench --all` at a reduced scale, then diffs the fresh JSON against
+// baselines checked into the repository. A diff fails when
+//   * the result structure changed (stages, axes, metric columns, rows),
+//   * any metric moved beyond atol + rtol * |baseline value|, or
+//   * wall time regressed beyond baseline * wall_factor + wall_slack
+//     (wall_factor <= 0 disables the wall check).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace p2pvod::scenario {
+
+struct BaselineOptions {
+  double rtol = 1e-6;  ///< relative metric tolerance
+  double atol = 1e-9;  ///< absolute metric tolerance
+  /// Wall-time budget: fail when current > baseline * wall_factor +
+  /// wall_slack. Generous by default — run-to-run noise dwarfs real
+  /// regressions at bench scale; CI tightens or loosens per machine class.
+  double wall_factor = 3.0;
+  double wall_slack = 0.25;  ///< seconds; absorbs timer noise on tiny runs
+};
+
+/// Human-readable violation messages; empty means the run is within
+/// tolerance. Malformed documents yield a violation (never a throw), so the
+/// driver can keep diffing the remaining scenarios.
+[[nodiscard]] std::vector<std::string> diff_against_baseline(
+    const util::json::Value& current, const util::json::Value& baseline,
+    const BaselineOptions& options = {});
+
+/// Load `baseline_path` and diff `current` against it. File-not-found /
+/// parse errors are reported as violations.
+[[nodiscard]] std::vector<std::string> diff_against_baseline_file(
+    const util::json::Value& current, const std::string& baseline_path,
+    const BaselineOptions& options = {});
+
+}  // namespace p2pvod::scenario

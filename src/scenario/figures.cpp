@@ -1,0 +1,20 @@
+#include "scenario/figures.hpp"
+
+namespace p2pvod::scenario {
+
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  registry.add(make_table1_scenario());
+  registry.add(make_threshold_scenario());
+  registry.add(make_catalog_scaling_scenario());
+  registry.add(make_replication_scenario());
+  registry.add(make_swarm_growth_scenario());
+  registry.add(make_allocation_scenario());
+  registry.add(make_hetero_scenario());
+  registry.add(make_tradeoff_scenario());
+  registry.add(make_startup_delay_scenario());
+  registry.add(make_obstruction_scenario());
+  registry.add(make_baseline_scenario());
+  registry.add(make_churn_scenario());
+}
+
+}  // namespace p2pvod::scenario

@@ -1,0 +1,157 @@
+// E6 — permutation vs independent allocation (§2.1 / Theorem 1 remark).
+//
+// The permutation allocation loads every box with exactly d·c replicas; the
+// independent allocation concentrates only when c = Ω(log n). Stage one
+// measures load-balance statistics per (n, c, scheme) cell; stage two runs
+// full-suite feasibility per scheme. Seeds 0xE600/0xE6 as in the serial
+// harness; each cell is an independent grid point.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "analysis/calibrate.hpp"
+#include "model/catalog.hpp"
+#include "scenario/figures.hpp"
+#include "scenario/sink.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::scenario {
+
+namespace {
+
+constexpr alloc::Scheme kSchemes[] = {alloc::Scheme::kPermutation,
+                                      alloc::Scheme::kIndependent,
+                                      alloc::Scheme::kRoundRobin};
+
+}  // namespace
+
+Scenario make_allocation_scenario() {
+  Scenario scenario;
+  scenario.id = "allocation";
+  scenario.figure = "E6";
+  scenario.title = "E6 / allocation figure";
+  scenario.claim =
+      "load balance & feasibility: permutation vs independent vs round-robin";
+  scenario.plan = [] {
+    const std::uint32_t trials = util::scaled_count(4, 2);
+    const double d = 4.0;
+
+    sweep::ParameterGrid loads_grid;
+    loads_grid.free_axis("n", {32, 128})
+        .free_axis("c", {2, 8, 32})
+        .free_axis("scheme", {0, 1, 2});
+
+    Plan plan;
+    // At the paper's operating point the catalog identity m = d*n/k fills
+    // every slot: the permutation allocation is perfectly balanced by
+    // construction, while the independent allocation needs more capacity
+    // than d*c on some box — the overflow that forces c = Omega(log n).
+    plan.stages.push_back(
+        {"loads", std::move(loads_grid),
+         {"max_load", "repl_min", "repl_max"},
+         [trials, d](const sweep::GridPoint& point, std::uint64_t /*seed*/) {
+           const auto n = static_cast<std::uint32_t>(point.values[0]);
+           const auto c = static_cast<std::uint32_t>(point.values[1]);
+           const auto scheme =
+               kSchemes[static_cast<std::size_t>(point.values[2])];
+           const std::uint32_t k = 4;
+           const auto m = static_cast<std::uint32_t>(d * n / k);
+           const model::Catalog catalog(m, c, 16);
+           const auto profile = model::CapacityProfile::homogeneous(n, 1.5, d);
+           // For the independent scheme, measure the *unconstrained* bin
+           // loads: place with 8x headroom and compare the max against the
+           // nominal d*c.
+           const auto roomy = model::CapacityProfile::homogeneous(n, 1.5,
+                                                                  8 * d);
+           double max_load = 0.0;
+           std::uint32_t rep_min = 0xffffffffu, rep_max = 0;
+           for (std::uint32_t t = 0; t < trials; ++t) {
+             util::Rng rng(0xE600 + t);
+             const auto& place_profile =
+                 scheme == alloc::Scheme::kIndependent ? roomy : profile;
+             const auto allocation = alloc::make_allocator(scheme)->allocate(
+                 catalog, place_profile, k, rng);
+             max_load += allocation.max_slot_usage();
+             rep_min = std::min(rep_min, allocation.min_replication());
+             rep_max = std::max(rep_max, allocation.max_replication());
+           }
+           max_load /= trials;
+           return std::vector<double>{max_load, static_cast<double>(rep_min),
+                                      static_cast<double>(rep_max)};
+         }});
+
+    sweep::ParameterGrid feasibility_grid;
+    feasibility_grid.free_axis("scheme", {0, 1, 2});
+    plan.stages.push_back(
+        {"feasibility", std::move(feasibility_grid),
+         {"success_rate"},
+         [trials, d](const sweep::GridPoint& point, std::uint64_t /*seed*/) {
+           analysis::TrialSpec spec;
+           spec.n = util::scaled_count(48, 24);
+           spec.u = 1.5;
+           spec.d = d;
+           spec.mu = 1.3;
+           spec.c = 4;
+           spec.k = 6;
+           spec.duration = 10;
+           spec.rounds = 30;
+           spec.suite = analysis::WorkloadSuite::kFull;
+           spec.scheme = kSchemes[static_cast<std::size_t>(point.values[0])];
+           const auto rate =
+               analysis::Calibrator::success_rate(spec, trials * 2, 0xE6);
+           return std::vector<double>{rate.estimate};
+         }});
+
+    plan.render = [trials, d](const ScenarioRun& run, Emitter& out) {
+      util::Table loads("full occupancy m=d*n/k (k=4): permutation balance vs "
+                        "independent overflow (mean over " +
+                        std::to_string(trials) + " seeds)");
+      loads.set_header({"scheme", "n", "c", "nominal slots d*c", "max load",
+                        "overflow max/(d*c)", "repl min..max"});
+      for (const auto& row : run.stage(0).rows()) {
+        const auto n = static_cast<std::uint32_t>(row.point.values[0]);
+        const auto c = static_cast<std::uint32_t>(row.point.values[1]);
+        const auto scheme =
+            kSchemes[static_cast<std::size_t>(row.point.values[2])];
+        const double nominal = d * c;
+        const double max_load = row.metrics[0];
+        const auto rep_min = static_cast<std::uint32_t>(row.metrics[1]);
+        const auto rep_max = static_cast<std::uint32_t>(row.metrics[2]);
+        loads.begin_row()
+            .cell(alloc::scheme_name(scheme))
+            .cell(static_cast<std::uint64_t>(n))
+            .cell(static_cast<std::uint64_t>(c))
+            .cell(nominal, 4)
+            .cell(max_load, 4)
+            .cell(max_load / nominal, 3)
+            .cell(std::to_string(rep_min) + ".." + std::to_string(rep_max));
+      }
+      out.table(loads, "E6_loads");
+
+      out.text("\n");
+      util::Table feas("full-suite success rate (n=48, u=1.5, c=4, k=6)");
+      feas.set_header({"scheme", "success rate"});
+      for (const auto& row : run.stage(1).rows()) {
+        const auto scheme =
+            kSchemes[static_cast<std::size_t>(row.point.values[0])];
+        feas.begin_row()
+            .cell(alloc::scheme_name(scheme))
+            .cell(row.metrics[0], 3);
+      }
+      out.table(feas, "E6_feasibility");
+      out.text("\nExpected shape: permutation and round-robin overflow "
+               "exactly 1.0 (every box\nholds exactly d*c replicas); the "
+               "independent scheme overflows the nominal\ncapacity by a "
+               "factor that shrinks as c grows — the balls-in-bins "
+               "deviation\nbehind Theorem 1's extra c = Omega(log n) "
+               "requirement for independent placement.\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace p2pvod::scenario

@@ -1,0 +1,123 @@
+// E10 — the first-moment obstruction bound (Lemma 4 / proof of Theorem 1).
+//
+// Per k: the exact numeric union bound P(N_k > 0), the Monte-Carlo frequency
+// of allocations admitting a cold-start obstruction, and the fraction of
+// allocations defeated by the full simulated suite. Each k is an independent
+// grid point; seeds 0xE1000/0xE10 as in the serial harness.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/permutation.hpp"
+#include "analysis/calibrate.hpp"
+#include "analysis/first_moment.hpp"
+#include "analysis/obstruction.hpp"
+#include "scenario/figures.hpp"
+#include "scenario/sink.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::scenario {
+
+Scenario make_obstruction_scenario() {
+  Scenario scenario;
+  scenario.id = "obstruction";
+  scenario.figure = "E10";
+  scenario.title = "E10 / obstruction figure";
+  scenario.claim = "P(N_k>0): union bound vs measured obstruction frequency";
+  scenario.plan = [] {
+    const std::uint32_t n = util::scaled_count(24, 16);
+    // c must satisfy c > (2µ²-1)/(u-1) for Lemma 4's ν to be positive; c=4
+    // is the minimum at (u=1.5, µ=1.2).
+    const std::uint32_t c = 4;
+    const double d = 4.0, u = 1.5, mu = 1.2;
+    const std::uint32_t allocations = util::scaled_count(24, 8);
+
+    sweep::ParameterGrid grid;
+    grid.free_axis("k", {2, 4, 8, 16, 32});
+
+    Plan plan;
+    plan.stages.push_back(
+        {"main", std::move(grid),
+         {"m", "log10_bound", "bound", "burst_freq", "sim_fail_freq"},
+         [n, c, d, u, mu, allocations](const sweep::GridPoint& point,
+                                       std::uint64_t /*seed*/) {
+           const auto k = static_cast<std::uint32_t>(point.values[0]);
+           const auto m = std::max<std::uint32_t>(
+               1, static_cast<std::uint32_t>(d * n / k));
+
+           analysis::FirstMomentParams fm;
+           fm.n = n;
+           fm.m = m;
+           fm.c = c;
+           fm.k = k;
+           fm.u = u;
+           fm.d = d;
+           fm.mu = mu;
+           const double bound = analysis::FirstMoment::probability_bound(fm);
+           const double log10_bound =
+               analysis::FirstMoment::log_union_bound(fm) / std::log(10.0);
+
+           const model::Catalog catalog(m, c, 10);
+           const auto profile = model::CapacityProfile::homogeneous(n, u, d);
+           std::uint32_t burst_hits = 0;
+           for (std::uint32_t a = 0; a < allocations; ++a) {
+             util::Rng rng(0xE1000 + a);
+             const auto allocation = alloc::PermutationAllocator().allocate(
+                 catalog, profile, k, rng);
+             const auto result = analysis::ObstructionSearch::monte_carlo(
+                 catalog, profile, allocation, 12, rng);
+             if (result.infeasible > 0) ++burst_hits;
+           }
+
+           analysis::TrialSpec spec;
+           spec.n = n;
+           spec.u = u;
+           spec.d = d;
+           spec.mu = mu;
+           spec.c = c;
+           spec.k = k;
+           spec.m_override = m;
+           spec.duration = 10;
+           spec.rounds = 30;
+           spec.suite = analysis::WorkloadSuite::kFull;
+           const auto sim_rate =
+               analysis::Calibrator::success_rate(spec, allocations, 0xE10);
+
+           return std::vector<double>{
+               static_cast<double>(m), log10_bound, bound,
+               static_cast<double>(burst_hits) / allocations,
+               1.0 - sim_rate.estimate};
+         }});
+
+    plan.render = [n, allocations](const ScenarioRun& run, Emitter& out) {
+      util::Table table("n=" + std::to_string(n) +
+                        ", c=4, u=1.5, d=4, m=d*n/k; " +
+                        std::to_string(allocations) + " allocations per k");
+      table.set_header({"k", "m", "log10 union bound", "union bound (clamped)",
+                        "cold-burst freq", "sim-suite fail freq"});
+      for (const auto& row : run.stage(0).rows()) {
+        table.begin_row()
+            .cell(static_cast<std::uint64_t>(row.point.values[0]))
+            .cell(static_cast<std::uint64_t>(row.metrics[0]))
+            .cell(row.metrics[1], 4)
+            .cell(row.metrics[2], 4)
+            .cell(row.metrics[3], 3)
+            .cell(row.metrics[4], 3);
+      }
+      out.table(table, "E10_obstruction");
+      out.text("\nExpected shape: the log10 of the union bound decreases "
+               "monotonically in k\n(the bound is asymptotic in n, so at "
+               "this toy n it only leaves the clamped\nregime for large k); "
+               "the measured obstruction frequencies sit far below it "
+               "and\nvanish almost immediately — the worst-case analysis is "
+               "extremely conservative.\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace p2pvod::scenario

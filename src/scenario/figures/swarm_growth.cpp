@@ -1,0 +1,136 @@
+// E5 — swarm growth vs stripe count (Theorem 1 / Lemma 2).
+//
+// Theorem 1 needs c > (2µ²−1)/(u−1) stripes for the preloading strategy to
+// absorb swarms growing by µ each round. A maximal-growth flash crowd runs
+// against fixed (n, u, k) for a (µ, c) grid plus a naive-strategy ablation
+// column; every cell is an independent grid point with the serial harness's
+// seeds (0xE500/0xE550 + trial).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/permutation.hpp"
+#include "scenario/figures.hpp"
+#include "scenario/sink.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/flash_crowd.hpp"
+
+namespace p2pvod::scenario {
+
+namespace {
+
+bool swarm_survives(std::uint32_t n, double u, double mu, std::uint32_t c,
+                    std::uint32_t k, sim::StrategyKind kind,
+                    std::uint64_t seed) {
+  const auto m = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(4.0 * n / k));
+  const model::Catalog catalog(m, c, 16);
+  const auto profile = model::CapacityProfile::homogeneous(n, u, 4.0);
+  util::Rng rng(seed);
+  const auto allocation =
+      alloc::PermutationAllocator().allocate(catalog, profile, k, rng);
+  const auto strategy = sim::make_strategy(kind);
+  sim::Simulator simulator(catalog, profile, allocation, *strategy);
+  workload::FlashCrowd crowd(0, mu);
+  return simulator.run(crowd, 48).success;
+}
+
+// Single source for both the grid axes and the table layout.
+const std::vector<double> kMuValues = {1.2, 1.5, 2.0, 3.0};
+const std::vector<double> kStripeValues = {1, 2, 4, 8, 16};
+
+}  // namespace
+
+Scenario make_swarm_growth_scenario() {
+  Scenario scenario;
+  scenario.id = "swarm_growth";
+  scenario.figure = "E5";
+  scenario.title = "E5 / swarm-growth figure";
+  scenario.claim =
+      "flash-crowd survival over (mu, c); theory: c > (2mu^2-1)/(u-1)";
+  scenario.plan = [] {
+    const std::uint32_t n = util::scaled_count(96, 48);
+    const double u = 1.5;
+    const std::uint32_t k = 4;
+    const std::uint32_t trials = util::scaled_count(3, 1);
+
+    sweep::ParameterGrid preloading_grid;
+    preloading_grid.free_axis("mu", kMuValues).free_axis("c", kStripeValues);
+
+    Plan plan;
+    plan.stages.push_back(
+        {"preloading", std::move(preloading_grid),
+         {"survival"},
+         [n, u, k, trials](const sweep::GridPoint& point,
+                           std::uint64_t /*seed*/) {
+           const double mu = point.values[0];
+           const auto c = static_cast<std::uint32_t>(point.values[1]);
+           std::uint32_t wins = 0;
+           for (std::uint32_t t = 0; t < trials; ++t) {
+             if (swarm_survives(n, u, mu, c, k, sim::StrategyKind::kPreloading,
+                                0xE500 + t)) {
+               ++wins;
+             }
+           }
+           return std::vector<double>{static_cast<double>(wins) / trials};
+         }});
+
+    sweep::ParameterGrid naive_grid;
+    naive_grid.free_axis("mu", kMuValues);
+    plan.stages.push_back(
+        {"naive", std::move(naive_grid),
+         {"survival"},
+         [n, u, k, trials](const sweep::GridPoint& point,
+                           std::uint64_t /*seed*/) {
+           const double mu = point.values[0];
+           std::uint32_t wins = 0;
+           for (std::uint32_t t = 0; t < trials; ++t) {
+             if (swarm_survives(n, u, mu, 8, k, sim::StrategyKind::kNaive,
+                                0xE550 + t)) {
+               ++wins;
+             }
+           }
+           return std::vector<double>{static_cast<double>(wins) / trials};
+         }});
+
+    plan.render = [n, u](const ScenarioRun& run, Emitter& out) {
+      util::Table table("preloading strategy, n=" + std::to_string(n) +
+                        ", u=1.5, k=4 (fraction of seeds surviving)");
+      std::vector<std::string> header{"mu", "theory c >"};
+      for (const double c : kStripeValues)
+        header.push_back("c=" + std::to_string(static_cast<std::uint32_t>(c)));
+      header.push_back("naive @ c=8");
+      table.set_header(header);
+
+      const std::size_t stripe_count = kStripeValues.size();
+      for (std::size_t mi = 0; mi < kMuValues.size(); ++mi) {
+        const double mu = kMuValues[mi];
+        const double frontier = (2.0 * mu * mu - 1.0) / (u - 1.0);
+        table.begin_row().cell(mu).cell(frontier, 3);
+        for (std::size_t ci = 0; ci < stripe_count; ++ci) {
+          // Row-major (mu slowest): cell (mi, ci) is point mi*|c| + ci.
+          table.cell(run.stage(0).row(mi * stripe_count + ci).metrics[0], 2);
+        }
+        table.cell(run.stage(1).row(mi).metrics[0], 2);
+      }
+      out.table(table, "E5_swarm_growth");
+      out.text(
+          "\nExpected shape: c=1 fails at every mu — the effective upload "
+          "u' = floor(u*c)/c\ndegenerates to exactly 1, the threshold. "
+          "Survival then flips to 1 once c gives\nthe swarm headroom; the "
+          "empirical frontier is *looser* than the theory column\n(the "
+          "theorem quantifies over all adversaries, the flash crowd is just "
+          "the natural\nworst case for swarming). The naive strategy needs "
+          "far more slack: at mu=3 it\ncollapses where preloading still "
+          "survives, because same-wave joiners sit at\nidentical positions "
+          "and cannot serve each other.\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace p2pvod::scenario

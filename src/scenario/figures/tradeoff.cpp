@@ -1,0 +1,104 @@
+// E8 — the video-quality / catalog-size trade-off (Conclusion).
+//
+// "For higher video bit-rate, we obtain better quality, but the normalized
+// upload u tends to 1 and our lower bound on catalog size tends to 0
+// proportionally to (u−1)² log((u+1)/2) ~ (u−1)³."
+//
+// The closed-form table is a cheap sequential recurrence (each exponent uses
+// the previous row) computed at render time; the empirical binary searches
+// run as parallel grid points with seeds pinned to 0xE8.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/calibrate.hpp"
+#include "scenario/figures.hpp"
+#include "scenario/sink.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::scenario {
+
+Scenario make_tradeoff_scenario() {
+  Scenario scenario;
+  scenario.id = "tradeoff";
+  scenario.figure = "E8";
+  scenario.title = "E8 / trade-off figure";
+  scenario.claim = "catalog bound ~ (u-1)^3 as u -> 1 (quality vs catalog)";
+  scenario.plan = [] {
+    const double d = 4.0, mu = 1.2;
+    const std::uint32_t n = util::scaled_count(40, 24);
+    const std::uint32_t trials = util::scaled_count(3, 2);
+
+    analysis::TrialSpec base;
+    base.n = n;
+    base.d = d;
+    base.mu = mu;
+    base.c = 4;
+    base.duration = 10;
+    base.rounds = 30;
+    base.suite = analysis::WorkloadSuite::kFull;
+
+    sweep::ParameterGrid grid(base);
+    grid.axis("u", {1.1, 1.25, 1.5, 2.0, 3.0});
+
+    Plan plan;
+    plan.stages.push_back(
+        {"empirical", std::move(grid),
+         {"max_m"},
+         [trials](const sweep::GridPoint& point, std::uint64_t /*seed*/) {
+           const auto found =
+               analysis::Calibrator::max_catalog(point.spec, 1.0, trials, 0xE8);
+           return std::vector<double>{static_cast<double>(found.m)};
+         }});
+
+    plan.render = [d, mu, n](const ScenarioRun& run, Emitter& out) {
+      const std::uint32_t n_closed = 1000000;
+      util::Table table("closed-form catalog bound, n=10^6, d=4, mu=1.2");
+      table.set_header({"u", "bound m(u)", "local exponent",
+                        "(u-1)^3 reference"});
+      double prev_u = 0.0, prev_m = 0.0;
+      for (const double u : {1.02, 1.04, 1.08, 1.16, 1.32, 1.64, 2.28}) {
+        const double m = analysis::Theorem1::catalog_closed_form(n_closed, u,
+                                                                 d, mu);
+        double exponent = 0.0;
+        if (prev_m > 0.0) {
+          // Successive u values double (u-1): exponent = log2(m2/m1).
+          exponent = std::log2(m / prev_m);
+          (void)prev_u;
+        }
+        table.begin_row()
+            .cell(u)
+            .cell(m, 5)
+            .cell(prev_m > 0.0 ? util::Table::format_double(exponent, 3)
+                               : std::string("-"))
+            .cell(std::pow(u - 1.0, 3.0), 4);
+        prev_u = u;
+        prev_m = m;
+      }
+      out.table(table, "E8_closed_form");
+
+      out.text("\n");
+      util::Table emp("empirical max catalog at n=" + std::to_string(n) +
+                      " (full suite)");
+      emp.set_header({"u", "max m measured", "m / (d*n)"});
+      for (const auto& row : run.stage(0).rows()) {
+        emp.begin_row()
+            .cell(row.point.values[0])
+            .cell(static_cast<std::uint64_t>(row.metrics[0]))
+            .cell(row.metrics[0] / (d * n), 3);
+      }
+      out.table(emp, "E8_empirical");
+      out.text("\nExpected shape: the local exponent of the closed form "
+               "approaches 3 as u -> 1\n(the bound vanishes like (u-1)^3); "
+               "the measured catalog also shrinks toward the\nthreshold, far "
+               "less brutally (the bound is worst-case).\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace p2pvod::scenario

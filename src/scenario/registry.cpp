@@ -1,0 +1,59 @@
+#include "scenario/registry.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "scenario/figures.hpp"
+
+namespace p2pvod::scenario {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.id.empty()) {
+    throw std::invalid_argument("ScenarioRegistry::add: empty scenario id");
+  }
+  if (!scenario.plan) {
+    throw std::invalid_argument("ScenarioRegistry::add: scenario '" +
+                                scenario.id + "' has no plan");
+  }
+  if (find(scenario.id) != nullptr) {
+    throw std::invalid_argument("ScenarioRegistry::add: duplicate scenario '" +
+                                scenario.id + "'");
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& id) const noexcept {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.id == id) return &scenario;
+  }
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& id) const {
+  if (const Scenario* scenario = find(id); scenario != nullptr) {
+    return *scenario;
+  }
+  std::string known;
+  for (const Scenario& scenario : scenarios_) {
+    if (!known.empty()) known += ", ";
+    known += scenario.id;
+  }
+  throw std::out_of_range("ScenarioRegistry: unknown scenario '" + id +
+                          "' (known: " + known + ")");
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) out.push_back(&scenario);
+  return out;
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static ScenarioRegistry registry;
+  static std::once_flag once;
+  std::call_once(once, [] { register_builtin_scenarios(registry); });
+  return registry;
+}
+
+}  // namespace p2pvod::scenario

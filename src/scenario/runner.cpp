@@ -1,0 +1,55 @@
+#include "scenario/runner.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "scenario/registry.hpp"
+
+namespace p2pvod::scenario {
+
+double run_scenario(const Scenario& scenario,
+                    const std::vector<ResultSink*>& sinks,
+                    const RunOptions& options) {
+  Emitter emitter(scenario, sinks);
+  emitter.banner();
+
+  const auto start = std::chrono::steady_clock::now();
+  Plan plan = scenario.plan();
+
+  ScenarioRun run;
+  run.stages.reserve(plan.stages.size());
+  const sweep::SweepRunner runner(options.sweep);
+  for (Stage& stage : plan.stages) {
+    run.stages.push_back(
+        {stage.name, runner.run(stage.grid, stage.metrics, stage.evaluate)});
+  }
+  if (plan.render) plan.render(run, emitter);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  emitter.complete(run, elapsed.count());
+  return elapsed.count();
+}
+
+int run_figure_main(const std::string& id) {
+  try {
+    const Scenario& scenario = ScenarioRegistry::builtin().at(id);
+    TableSink table_sink(std::cout);
+    std::optional<CsvSink> csv_sink;
+    std::vector<ResultSink*> sinks{&table_sink};
+    if (const char* dir = std::getenv("P2PVOD_CSV_DIR"); dir != nullptr) {
+      csv_sink.emplace(dir);
+      sinks.push_back(&*csv_sink);
+    }
+    run_scenario(scenario, sinks);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace p2pvod::scenario

@@ -1,0 +1,33 @@
+// Executes a Scenario: stages on the SweepRunner, results through the sinks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "scenario/sink.hpp"
+#include "sweep/sweep_runner.hpp"
+
+namespace p2pvod::scenario {
+
+struct RunOptions {
+  /// Pool/seed for the stage sweeps. options.sweep.pool == nullptr selects
+  /// the global pool (P2PVOD_THREADS). Point functions that pin their own
+  /// seeds (every paper figure does, to reproduce published data) ignore the
+  /// base seed.
+  sweep::SweepOptions sweep;
+};
+
+/// Run one scenario: banner event, plan(), each stage on the SweepRunner,
+/// render, completion event. Returns the wall time in seconds (covering
+/// plan + stages + render). Exceptions from stage evaluation propagate.
+double run_scenario(const Scenario& scenario,
+                    const std::vector<ResultSink*>& sinks,
+                    const RunOptions& options = {});
+
+/// Entry point shared by the legacy per-figure shim binaries: run builtin
+/// scenario `id` with the stdout table sink (plus a CSV sink when
+/// P2PVOD_CSV_DIR is set) and map exceptions to a non-zero exit code.
+int run_figure_main(const std::string& id);
+
+}  // namespace p2pvod::scenario

@@ -1,0 +1,71 @@
+// The Scenario abstraction: one paper claim, reproduced as parameter sweeps.
+//
+// Each figure/table of the paper is described declaratively as a Scenario:
+// an id, the claim it reproduces, and a plan() builder that yields one or
+// more Stages — a ParameterGrid (the declarative axes), metric column names,
+// and a point-evaluation function — plus a render callback that turns the
+// SweepResults into the human tables. Stages execute on the parallel
+// SweepRunner; render only formats, so a scenario's stdout is byte-identical
+// at any thread count (see src/sweep/ determinism rules).
+//
+// The plan is rebuilt on every run because stage shapes depend on
+// P2PVOD_SCALE (util::scaled_count) read at run time; the plan's closures
+// capture the scaled values shared between evaluate and render.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sweep/parameter_grid.hpp"
+#include "sweep/sweep_result.hpp"
+#include "sweep/sweep_runner.hpp"
+
+namespace p2pvod::scenario {
+
+class Emitter;
+
+/// One sweep within a scenario: a grid, its metric columns, and the function
+/// evaluating one grid point. Scenarios with several independent tables
+/// (e.g. E6's load-balance and feasibility tables) declare several stages.
+struct Stage {
+  std::string name;  ///< stable key in BENCH_<id>.json ("main" by convention)
+  sweep::ParameterGrid grid;
+  std::vector<std::string> metrics;
+  sweep::SweepRunner::PointFn evaluate;
+};
+
+/// Results of an executed stage, in declaration order.
+struct StageResult {
+  std::string name;
+  sweep::SweepResult result;
+};
+
+struct ScenarioRun {
+  std::vector<StageResult> stages;
+
+  /// Stage result by declaration index; throws std::out_of_range.
+  [[nodiscard]] const sweep::SweepResult& stage(std::size_t index) const {
+    return stages.at(index).result;
+  }
+};
+
+/// A scenario's executable shape, built fresh per run.
+struct Plan {
+  std::vector<Stage> stages;
+  /// Formats the stage results into tables/text on the Emitter. Cheap
+  /// closed-form side computations (e.g. E8's recurrence table) may live
+  /// here; anything Monte-Carlo belongs in a stage.
+  std::function<void(const ScenarioRun&, Emitter&)> render;
+};
+
+struct Scenario {
+  std::string id;      ///< registry key and JSON file stem, e.g. "threshold"
+  std::string figure;  ///< paper artifact, e.g. "E2"
+  std::string title;   ///< banner headline, e.g. "E2 / threshold figure"
+  std::string claim;   ///< one-line paper claim shown in the banner / --list
+  std::function<Plan()> plan;
+};
+
+}  // namespace p2pvod::scenario

@@ -30,8 +30,11 @@ void assign_clamped(Field& field, double value) {
 
 ParameterGrid::ParameterGrid(analysis::TrialSpec base) : base_(base) {}
 
-ParameterGrid& ParameterGrid::axis(const std::string& name,
-                                   std::vector<double> values) {
+void ParameterGrid::validate_axis(const std::string& name,
+                                  const std::vector<double>& values) const {
+  if (name.empty()) {
+    throw std::invalid_argument("ParameterGrid::axis: empty axis name");
+  }
   if (values.empty()) {
     throw std::invalid_argument("ParameterGrid::axis: empty value list for '" +
                                 name + "'");
@@ -48,6 +51,11 @@ ParameterGrid& ParameterGrid::axis(const std::string& name,
                                   name + "'");
     }
   }
+}
+
+ParameterGrid& ParameterGrid::axis(const std::string& name,
+                                   std::vector<double> values) {
+  validate_axis(name, values);
 
   Setter setter = nullptr;
   if (name == "n") {
@@ -89,6 +97,14 @@ ParameterGrid& ParameterGrid::axis(const std::string& name,
   return *this;
 }
 
+ParameterGrid& ParameterGrid::free_axis(const std::string& name,
+                                        std::vector<double> values) {
+  validate_axis(name, values);
+  // nullptr setter: the axis enumerates cells without touching the spec.
+  axes_.push_back(Axis{name, std::move(values), nullptr});
+  return *this;
+}
+
 std::vector<std::string> ParameterGrid::names() const {
   std::vector<std::string> result;
   result.reserve(axes_.size());
@@ -124,7 +140,7 @@ GridPoint ParameterGrid::point(std::size_t index) const {
     const std::size_t which = remainder % axis.values.size();
     remainder /= axis.values.size();
     result.values[i] = axis.values[which];
-    axis.setter(result.spec, axis.values[which]);
+    if (axis.setter != nullptr) axis.setter(result.spec, axis.values[which]);
   }
   return result;
 }

@@ -35,6 +35,14 @@ class ParameterGrid {
   /// name, an empty value list, or a NaN value. Returns *this for chaining.
   ParameterGrid& axis(const std::string& name, std::vector<double> values);
 
+  /// Append a free axis: its values enumerate grid cells and appear in
+  /// GridPoint::values (and sweep output columns) but do NOT touch the
+  /// TrialSpec. Scenarios whose parameters are not TrialSpec fields (failure
+  /// probability, allocation scheme index, workload case, ...) use this to
+  /// run their loops as parallel grid points. Same validation as axis()
+  /// except any non-empty name is accepted.
+  ParameterGrid& free_axis(const std::string& name, std::vector<double> values);
+
   [[nodiscard]] const analysis::TrialSpec& base() const noexcept {
     return base_;
   }
@@ -62,8 +70,11 @@ class ParameterGrid {
   struct Axis {
     std::string name;
     std::vector<double> values;
-    Setter setter;
+    Setter setter;  ///< nullptr for free axes
   };
+
+  void validate_axis(const std::string& name,
+                     const std::vector<double>& values) const;
 
   analysis::TrialSpec base_;
   std::vector<Axis> axes_;

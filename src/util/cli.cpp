@@ -1,13 +1,20 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace p2pvod::util {
 
-ArgParser::ArgParser(int argc, const char* const* argv) {
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     std::vector<std::string> bare_flags) {
   if (argc > 0) program_ = argv[0];
+  const auto is_bare = [&bare_flags](const std::string& name) {
+    return std::find(bare_flags.begin(), bare_flags.end(), name) !=
+           bare_flags.end();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
@@ -15,7 +22,8 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
       const auto eq = token.find('=');
       if (eq != std::string::npos) {
         options_[token.substr(0, eq)] = token.substr(eq + 1);
-      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      } else if (!is_bare(token) && i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         options_[token] = argv[++i];
       } else {
         options_[token] = "true";  // bare flag
@@ -24,6 +32,13 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
       positional_.push_back(std::move(token));
     }
   }
+}
+
+std::vector<std::string> ArgParser::option_names() const {
+  std::vector<std::string> out;
+  out.reserve(options_.size());
+  for (const auto& [name, value] : options_) out.push_back(name);
+  return out;  // std::map iteration: already sorted
 }
 
 std::string ArgParser::env_name(const std::string& name) {
@@ -53,17 +68,37 @@ std::string ArgParser::get_string(const std::string& name,
   return get(name).value_or(fallback);
 }
 
+namespace {
+
+/// Wraps the std::sto* conversions so a malformed option value surfaces as
+/// the documented std::invalid_argument (with the option name) instead of a
+/// bare std::out_of_range/invalid_argument from deep inside the parser.
+template <typename Convert>
+auto convert_option(const std::string& name, const std::string& value,
+                    Convert convert) {
+  try {
+    return convert(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + ": invalid number '" +
+                                value + "'");
+  }
+}
+
+}  // namespace
+
 std::int64_t ArgParser::get_int(const std::string& name,
                                 std::int64_t fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
-  return std::stoll(*value);
+  return convert_option(name, *value,
+                        [](const std::string& v) { return std::stoll(v); });
 }
 
 double ArgParser::get_double(const std::string& name, double fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
-  return std::stod(*value);
+  return convert_option(name, *value,
+                        [](const std::string& v) { return std::stod(v); });
 }
 
 bool ArgParser::get_bool(const std::string& name, bool fallback) const {
@@ -76,7 +111,8 @@ std::uint64_t ArgParser::get_seed(const std::string& name,
                                   std::uint64_t fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
-  return std::stoull(*value);
+  return convert_option(name, *value,
+                        [](const std::string& v) { return std::stoull(v); });
 }
 
 double bench_scale() {
@@ -89,6 +125,19 @@ double bench_scale() {
     }
   }
   return 1.0;
+}
+
+std::uint32_t scaled_count(std::uint32_t base, std::uint32_t min_value) {
+  const double value = static_cast<double>(base) * bench_scale();
+  // Clamp before rounding: llround on a double beyond long long's range is
+  // unspecified, so an absurd P2PVOD_SCALE must not reach it.
+  constexpr double kMax = 4294967295.0;
+  if (value >= kMax) return 0xffffffffu;
+  // Round to nearest: truncation made P2PVOD_SCALE=0.9 on a base of 3
+  // silently yield 2 (a 33% cut for a 10% scale request).
+  const long long rounded = std::llround(value);
+  if (rounded <= static_cast<long long>(min_value)) return min_value;
+  return static_cast<std::uint32_t>(rounded);
 }
 
 }  // namespace p2pvod::util

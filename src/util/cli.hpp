@@ -18,7 +18,12 @@ namespace p2pvod::util {
 
 class ArgParser {
  public:
-  ArgParser(int argc, const char* const* argv);
+  /// `bare_flags` names options that never take a value (e.g. "--all",
+  /// "--no-json"): a token following one is left as a positional instead of
+  /// being consumed as the flag's value. Without the list, "--flag value"
+  /// always binds value to flag.
+  ArgParser(int argc, const char* const* argv,
+            std::vector<std::string> bare_flags = {});
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
@@ -38,6 +43,11 @@ class ArgParser {
     return positional_;
   }
 
+  /// Names of the options present on the command line (sorted; excludes
+  /// environment fallbacks). Lets a driver reject misspelled flags instead
+  /// of silently ignoring them.
+  [[nodiscard]] std::vector<std::string> option_names() const;
+
   /// Name of the executable (argv[0]).
   [[nodiscard]] const std::string& program() const { return program_; }
 
@@ -52,5 +62,13 @@ class ArgParser {
 /// Global convenience: bench scale factor from P2PVOD_SCALE (default 1.0).
 /// Benches multiply trial counts / n by this so CI machines can shrink work.
 [[nodiscard]] double bench_scale();
+
+/// `base` scaled by bench_scale(), rounded to nearest, floored at
+/// `min_value`. The floor keeps statistics meaningful at tiny scales (e.g. a
+/// trial count never drops below 2 when the caller needs a fraction), so a
+/// small-enough P2PVOD_SCALE pins every scaled quantity at its floor rather
+/// than at zero.
+[[nodiscard]] std::uint32_t scaled_count(std::uint32_t base,
+                                         std::uint32_t min_value = 1);
 
 }  // namespace p2pvod::util

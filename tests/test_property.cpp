@@ -172,7 +172,9 @@ TEST_P(ReplicationSweep, MoreReplicasNeverHurtFlashCrowd) {
   w::FlashCrowd crowd(5, 1.6);
   const auto report = sim.run(crowd, 36);
   // k >= 4 absorbs this crowd (empirical anchor for this seed family).
-  if (k >= 4) EXPECT_TRUE(report.success) << "k=" << k;
+  if (k >= 4) {
+    EXPECT_TRUE(report.success) << "k=" << k;
+  }
 }
 
 // k is capped at 8: k·m·c = 8·16·4 = 512 exactly fills the d·n·c = 512 slots.

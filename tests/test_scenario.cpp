@@ -1,0 +1,336 @@
+// Tests for the scenario subsystem: registry registration/lookup, sink
+// behavior, the JSON result documents, baseline regression diffing, and
+// thread-count determinism of every migrated figure scenario.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/baseline.hpp"
+#include "scenario/figures.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sink.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sc = p2pvod::scenario;
+namespace u = p2pvod::util;
+
+namespace {
+
+/// Sets an environment variable for the test's lifetime, restoring the
+/// previous value (or unsetting) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string name, const std::string& value)
+      : name_(std::move(name)) {
+    if (const char* old = std::getenv(name_.c_str()); old != nullptr) {
+      old_ = old;
+    }
+    setenv(name_.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (old_.has_value()) {
+      setenv(name_.c_str(), old_->c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> old_;
+};
+
+/// A cheap deterministic scenario for sink/JSON tests. `delta` shifts every
+/// metric so baseline-diff tests can fabricate drifted runs.
+sc::Scenario synthetic_scenario(double delta = 0.0) {
+  sc::Scenario scenario;
+  scenario.id = "synthetic";
+  scenario.figure = "T0";
+  scenario.title = "T0 / synthetic";
+  scenario.claim = "doubles the x axis";
+  scenario.plan = [delta] {
+    sc::Plan plan;
+    p2pvod::sweep::ParameterGrid grid;
+    grid.free_axis("x", {1, 2, 3});
+    plan.stages.push_back(
+        {"main", std::move(grid),
+         {"twice"},
+         [delta](const p2pvod::sweep::GridPoint& point,
+                 std::uint64_t /*seed*/) {
+           return std::vector<double>{2.0 * point.values[0] + delta};
+         }});
+    plan.render = [](const sc::ScenarioRun& run, sc::Emitter& out) {
+      p2pvod::util::Table table("synthetic");
+      table.set_header({"x", "2x"});
+      for (const auto& row : run.stage(0).rows()) {
+        table.begin_row().cell(row.point.values[0]).cell(row.metrics[0]);
+      }
+      out.table(table, "T0_synthetic");
+      out.text("trailer\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+std::string run_with_threads(const sc::Scenario& scenario,
+                             std::size_t threads) {
+  std::ostringstream out;
+  sc::TableSink sink(out);
+  u::ThreadPool pool(threads);
+  sc::RunOptions options;
+  options.sweep.pool = &pool;
+  sc::run_scenario(scenario, {&sink}, options);
+  return out.str();
+}
+
+u::json::Value capture_json(const sc::Scenario& scenario) {
+  sc::CaptureSink capture;
+  sc::run_scenario(scenario, {&capture});
+  return *capture.document();
+}
+
+/// Sink retaining a copy of the run so tests can rebuild JSON documents with
+/// a chosen wall time.
+struct RunCapture final : sc::ResultSink {
+  std::optional<sc::ScenarioRun> run;
+  void on_complete(const sc::Scenario& /*scenario*/,
+                   const sc::ScenarioRun& completed,
+                   double /*wall_seconds*/) override {
+    run = completed;
+  }
+};
+
+}  // namespace
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ScenarioRegistry, BuiltinHoldsAllTwelveFiguresInOrder) {
+  const auto& registry = sc::ScenarioRegistry::builtin();
+  ASSERT_EQ(registry.size(), 12u);
+  std::vector<std::string> ids;
+  std::vector<std::string> figures;
+  for (const sc::Scenario* scenario : registry.list()) {
+    ids.push_back(scenario->id);
+    figures.push_back(scenario->figure);
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{
+                     "table1", "threshold", "catalog_scaling", "replication",
+                     "swarm_growth", "allocation", "hetero", "tradeoff",
+                     "startup_delay", "obstruction", "baseline", "churn"}));
+  EXPECT_EQ(figures, (std::vector<std::string>{"E1", "E2", "E3", "E4", "E5",
+                                               "E6", "E7", "E8", "E9", "E10",
+                                               "E11", "E13"}));
+}
+
+TEST(ScenarioRegistry, FindAndAtResolveIds) {
+  const auto& registry = sc::ScenarioRegistry::builtin();
+  ASSERT_NE(registry.find("threshold"), nullptr);
+  EXPECT_EQ(registry.find("threshold")->figure, "E2");
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  EXPECT_EQ(registry.at("churn").figure, "E13");
+  EXPECT_THROW((void)registry.at("nope"), std::out_of_range);
+}
+
+TEST(ScenarioRegistry, RejectsBadRegistrations) {
+  sc::ScenarioRegistry registry;
+  registry.add(synthetic_scenario());
+  EXPECT_EQ(registry.size(), 1u);
+  // Duplicate id.
+  EXPECT_THROW(registry.add(synthetic_scenario()), std::invalid_argument);
+  // Empty id.
+  sc::Scenario unnamed = synthetic_scenario();
+  unnamed.id.clear();
+  EXPECT_THROW(registry.add(std::move(unnamed)), std::invalid_argument);
+  // Missing plan.
+  sc::Scenario planless = synthetic_scenario();
+  planless.id = "planless";
+  planless.plan = nullptr;
+  EXPECT_THROW(registry.add(std::move(planless)), std::invalid_argument);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+// --- scaled_count (bench scaling fix) ---------------------------------------
+
+TEST(ScaledCount, RoundsToNearestInsteadOfTruncating) {
+  const ScopedEnv scale("P2PVOD_SCALE", "0.9");
+  // 3 * 0.9 = 2.7: truncation gave 2, rounding gives 3.
+  EXPECT_EQ(u::scaled_count(3, 1), 3u);
+  EXPECT_EQ(u::scaled_count(10, 1), 9u);
+}
+
+TEST(ScaledCount, RespectsFloor) {
+  const ScopedEnv scale("P2PVOD_SCALE", "0.01");
+  EXPECT_EQ(u::scaled_count(8, 2), 2u);
+  EXPECT_EQ(u::scaled_count(100, 1), 1u);
+}
+
+TEST(ScaledCount, IdentityAtScaleOneAndScalesUp) {
+  {
+    const ScopedEnv scale("P2PVOD_SCALE", "1");
+    EXPECT_EQ(u::scaled_count(48, 24), 48u);
+  }
+  {
+    const ScopedEnv scale("P2PVOD_SCALE", "2.5");
+    EXPECT_EQ(u::scaled_count(2, 1), 5u);
+  }
+}
+
+// --- sinks and JSON documents ------------------------------------------------
+
+TEST(ScenarioSinks, TableSinkPrintsBannerTablesAndText) {
+  const auto output = run_with_threads(synthetic_scenario(), 1);
+  EXPECT_NE(output.find("# T0 / synthetic — doubles the x axis"),
+            std::string::npos);
+  EXPECT_NE(output.find("== synthetic =="), std::string::npos);
+  EXPECT_NE(output.find("trailer\n"), std::string::npos);
+}
+
+TEST(ScenarioSinks, RunToJsonRecordsStagesRowsAndWallTime) {
+  const auto document = capture_json(synthetic_scenario());
+  EXPECT_EQ(document.at("id").as_string(), "synthetic");
+  EXPECT_EQ(document.at("figure").as_string(), "T0");
+  EXPECT_GE(document.at("wall_seconds").as_number(), 0.0);
+  const auto& stages = document.at("stages").as_array();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].at("name").as_string(), "main");
+  const auto& rows = stages[0].at("rows").as_array();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[2].at("values").as_array()[0].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(rows[2].at("metrics").as_array()[0].as_number(), 6.0);
+}
+
+TEST(ScenarioSinks, JsonSinkWritesParseableBenchFile) {
+  const std::string dir = testing::TempDir();
+  sc::JsonSink sink(dir);
+  sc::run_scenario(synthetic_scenario(), {&sink});
+  ASSERT_EQ(sink.written().size(), 1u);
+  EXPECT_EQ(sink.written()[0], dir + "/BENCH_synthetic.json");
+  const auto document = u::json::parse_file(sink.written()[0]);
+  EXPECT_EQ(document.at("id").as_string(), "synthetic");
+  EXPECT_EQ(document.at("schema").as_string(), "p2pvod-bench-v1");
+}
+
+TEST(ScenarioSinks, CsvSinkWritesTableCsv) {
+  const std::string dir = testing::TempDir();
+  std::ostringstream notice;
+  sc::CsvSink sink(dir, &notice);
+  sc::run_scenario(synthetic_scenario(), {&sink});
+  EXPECT_NE(notice.str().find("[csv] " + dir + "/T0_synthetic.csv"),
+            std::string::npos);
+  const auto parsed = std::ifstream(dir + "/T0_synthetic.csv").good();
+  EXPECT_TRUE(parsed);
+}
+
+// --- baseline diff -----------------------------------------------------------
+
+TEST(BaselineDiff, IdenticalRunPasses) {
+  const auto document = capture_json(synthetic_scenario());
+  EXPECT_TRUE(sc::diff_against_baseline(document, document).empty());
+}
+
+TEST(BaselineDiff, MetricDriftBeyondToleranceFails) {
+  const auto current = capture_json(synthetic_scenario());
+  const auto baseline = capture_json(synthetic_scenario(1.0));
+
+  const auto violations = sc::diff_against_baseline(current, baseline);
+  ASSERT_EQ(violations.size(), 3u);  // every row drifted by 1.0
+  EXPECT_NE(violations[0].find("metric 'twice'"), std::string::npos);
+
+  // A loose relative tolerance accepts the same drift.
+  sc::BaselineOptions loose;
+  loose.rtol = 0.5;
+  EXPECT_TRUE(sc::diff_against_baseline(current, baseline, loose).empty());
+}
+
+TEST(BaselineDiff, WallTimeRegressionFailsUnlessDisabled) {
+  const sc::Scenario scenario = synthetic_scenario();
+  RunCapture capture;
+  sc::run_scenario(scenario, {&capture});
+  ASSERT_TRUE(capture.run.has_value());
+  // Identical metrics; only the recorded wall times differ (1s vs 10s).
+  const auto baseline = sc::run_to_json(scenario, *capture.run, 1.0);
+  const auto current = sc::run_to_json(scenario, *capture.run, 10.0);
+
+  sc::BaselineOptions strict;
+  strict.wall_factor = 2.0;
+  strict.wall_slack = 0.25;  // budget: 1 * 2 + 0.25 = 2.25s < 10s
+  const auto violations = sc::diff_against_baseline(current, baseline, strict);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("wall time regressed"), std::string::npos);
+
+  sc::BaselineOptions disabled = strict;
+  disabled.wall_factor = 0.0;
+  EXPECT_TRUE(sc::diff_against_baseline(current, baseline, disabled).empty());
+  // The reverse direction (got faster) also passes.
+  EXPECT_TRUE(sc::diff_against_baseline(baseline, current, strict).empty());
+}
+
+TEST(BaselineDiff, StructuralChangesFail) {
+  const auto current = capture_json(synthetic_scenario());
+
+  sc::Scenario other = synthetic_scenario();
+  other.id = "other";
+  auto mismatched_id = capture_json(other);
+  EXPECT_FALSE(sc::diff_against_baseline(current, mismatched_id).empty());
+
+  // Different row count (extra axis value).
+  sc::Scenario wider = synthetic_scenario();
+  const auto narrow_plan = wider.plan;
+  wider.plan = [narrow_plan] {
+    sc::Plan plan = narrow_plan();
+    p2pvod::sweep::ParameterGrid grid;
+    grid.free_axis("x", {1, 2, 3, 4});
+    plan.stages[0].grid = std::move(grid);
+    return plan;
+  };
+  const auto wide = capture_json(wider);
+  const auto violations = sc::diff_against_baseline(wide, current);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("row count changed"), std::string::npos);
+}
+
+TEST(BaselineDiff, MissingBaselineFileReportsViolation) {
+  const auto current = capture_json(synthetic_scenario());
+  const auto violations = sc::diff_against_baseline_file(
+      current, testing::TempDir() + "/does_not_exist.json");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("cannot load baseline"), std::string::npos);
+}
+
+// --- determinism of every migrated figure ------------------------------------
+
+class ScenarioDeterminism : public testing::TestWithParam<const char*> {};
+
+// Every migrated scenario must print byte-identical tables on 1 thread and
+// on 4 threads (acceptance criterion for the sweep migration). Runs at a
+// reduced scale to keep the suite fast; the scale floors still exercise the
+// real sweep paths.
+TEST_P(ScenarioDeterminism, TablesAreByteIdenticalAcrossThreadCounts) {
+  const ScopedEnv scale("P2PVOD_SCALE", "0.25");
+  const sc::Scenario& scenario =
+      sc::ScenarioRegistry::builtin().at(GetParam());
+  const std::string serial = run_with_threads(scenario, 1);
+  const std::string parallel = run_with_threads(scenario, 4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_FALSE(serial.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFigures, ScenarioDeterminism,
+                         testing::Values("table1", "threshold",
+                                         "catalog_scaling", "replication",
+                                         "swarm_growth", "allocation",
+                                         "hetero", "tradeoff", "startup_delay",
+                                         "obstruction", "baseline", "churn"));

@@ -176,7 +176,9 @@ TEST(Strategy, PreloadIndexCyclesWithTicket) {
     std::vector<s::PlannedRequest> plans;
     strategy.plan(0, 0, ticket, 0, sim, plans);
     for (const auto& p : plans) {
-      if (p.issue == 0) EXPECT_EQ(p.stripe, ticket % 3);
+      if (p.issue == 0) {
+        EXPECT_EQ(p.stripe, ticket % 3);
+      }
     }
   }
 }

@@ -112,6 +112,41 @@ TEST(ParameterGrid, RejectsBadAxes) {
   EXPECT_EQ(grid.values("u").size(), 2u);
 }
 
+TEST(ParameterGrid, FreeAxisEnumeratesWithoutTouchingSpec) {
+  p2pvod::analysis::TrialSpec base;
+  base.n = 9;
+  base.k = 7;
+  sw::ParameterGrid grid(base);
+  grid.free_axis("fail_prob", {0.0, 0.5}).axis("u", {1.0, 2.0});
+  EXPECT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid.names(), (std::vector<std::string>{"fail_prob", "u"}));
+  const auto point = grid.point(3);  // fail_prob=0.5, u=2.0
+  EXPECT_DOUBLE_EQ(point.values[0], 0.5);
+  EXPECT_DOUBLE_EQ(point.values[1], 2.0);
+  EXPECT_DOUBLE_EQ(point.spec.u, 2.0);  // spec axis applied
+  EXPECT_EQ(point.spec.n, 9u);          // free axis left the spec alone
+  EXPECT_EQ(point.spec.k, 7u);
+}
+
+TEST(ParameterGrid, FreeAxisMayShadowSpecFieldNamesWithoutApplyingThem) {
+  p2pvod::analysis::TrialSpec base;
+  base.k = 7;
+  sw::ParameterGrid grid(base);
+  grid.free_axis("k", {2, 4});  // enumerates k values, spec.k untouched
+  EXPECT_EQ(grid.point(1).spec.k, 7u);
+  EXPECT_DOUBLE_EQ(grid.point(1).values[0], 4.0);
+}
+
+TEST(ParameterGrid, FreeAxisValidatesLikeRegularAxes) {
+  sw::ParameterGrid grid;
+  EXPECT_THROW(grid.free_axis("", {1.0}), std::invalid_argument);
+  EXPECT_THROW(grid.free_axis("p", {}), std::invalid_argument);
+  EXPECT_THROW(grid.free_axis("p", {std::nan("")}), std::invalid_argument);
+  grid.free_axis("p", {0.5});
+  EXPECT_THROW(grid.free_axis("p", {1.0}), std::invalid_argument);
+  EXPECT_THROW(grid.axis("p", {1.0}), std::invalid_argument);
+}
+
 TEST(ParameterGrid, OutOfRangeValuesClampToFieldLimits) {
   sw::ParameterGrid grid;
   grid.axis("n", {5e18}).axis("k", {-3.0}).axis("rounds", {1e20});

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/logmath.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -419,6 +420,19 @@ TEST(Cli, FallbacksWhenAbsent) {
   EXPECT_FALSE(args.has("missing"));
 }
 
+TEST(Cli, DeclaredBareFlagsDoNotConsumePositionals) {
+  const char* argv[] = {"prog", "--all", "run-me", "--depth", "3", "too"};
+  u::ArgParser args(6, argv, {"all"});
+  EXPECT_TRUE(args.get_bool("all", false));
+  EXPECT_EQ(args.get_int("depth", 0), 3);
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"run-me", "too"}));
+  // Without the declaration the old greedy behavior stands.
+  u::ArgParser greedy(6, argv);
+  EXPECT_EQ(greedy.get_string("all", ""), "run-me");
+  EXPECT_EQ(greedy.positional(), (std::vector<std::string>{"too"}));
+}
+
 TEST(Cli, BoolParsingVariants) {
   const char* argv[] = {"prog", "--a=yes", "--b=0", "--c=on", "--d=false"};
   u::ArgParser args(5, argv);
@@ -431,4 +445,89 @@ TEST(Cli, BoolParsingVariants) {
 TEST(Cli, BenchScaleDefaultsToOne) {
   // No P2PVOD_SCALE in the test environment.
   EXPECT_GT(u::bench_scale(), 0.0);
+}
+
+TEST(Cli, MalformedNumericOptionsThrowInvalidArgument) {
+  const char* argv[] = {"prog", "--depth=abc", "--ratio=x", "--seed=y"};
+  u::ArgParser args(4, argv);
+  EXPECT_THROW((void)args.get_int("depth", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("ratio", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_seed("seed", 0), std::invalid_argument);
+}
+
+TEST(Cli, OptionNamesListsCommandLineFlags) {
+  const char* argv[] = {"prog", "--b=1", "--a", "pos"};
+  u::ArgParser args(4, argv, {"a"});
+  EXPECT_EQ(args.option_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Cli, ScaledCountSurvivesAbsurdScales) {
+  // llround on a double beyond long long is unspecified; the clamp must win.
+  setenv("P2PVOD_SCALE", "1e18", 1);
+  EXPECT_EQ(u::scaled_count(48, 2), 0xffffffffu);
+  unsetenv("P2PVOD_SCALE");
+}
+
+// ----------------------------------------------------------------- json
+
+TEST(Json, ParseRoundTripsAllValueKinds) {
+  const std::string text =
+      R"({"null":null,"t":true,"f":false,"num":-12.5,"int":42,)"
+      R"("str":"a\"b\\c\n","arr":[1,[2],{}],"obj":{"nested":"x"}})";
+  const auto doc = u::json::parse(text);
+  EXPECT_TRUE(doc.at("null").is_null());
+  EXPECT_TRUE(doc.at("t").as_bool());
+  EXPECT_FALSE(doc.at("f").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("num").as_number(), -12.5);
+  EXPECT_DOUBLE_EQ(doc.at("int").as_number(), 42.0);
+  EXPECT_EQ(doc.at("str").as_string(), "a\"b\\c\n");
+  EXPECT_EQ(doc.at("arr").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("obj").at("nested").as_string(), "x");
+  // Compact dump re-parses to the same structure.
+  const auto again = u::json::parse(doc.dump());
+  EXPECT_EQ(again.at("str").as_string(), "a\"b\\c\n");
+  EXPECT_DOUBLE_EQ(again.at("num").as_number(), -12.5);
+}
+
+TEST(Json, NumberFormattingRoundTrips) {
+  // Integral doubles print without a fraction; others with full precision.
+  EXPECT_EQ(u::json::Value(3.0).dump(), "3");
+  EXPECT_EQ(u::json::Value(-7).dump(), "-7");
+  const double pi = 3.141592653589793;
+  EXPECT_DOUBLE_EQ(u::json::parse(u::json::Value(pi).dump()).as_number(), pi);
+  const double tiny = 1.2345678901234567e-100;
+  EXPECT_DOUBLE_EQ(u::json::parse(u::json::Value(tiny).dump()).as_number(),
+                   tiny);
+}
+
+TEST(Json, ScientificNotationAndUnicodeEscapes) {
+  EXPECT_DOUBLE_EQ(u::json::parse("1.5e3").as_number(), 1500.0);
+  EXPECT_DOUBLE_EQ(u::json::parse("-2E-2").as_number(), -0.02);
+  // \u escapes decode to UTF-8 (two- and three-byte forms), and raw UTF-8
+  // passes through untouched.
+  EXPECT_EQ(u::json::parse("\"A\\u00e9\"").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(u::json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+  EXPECT_EQ(u::json::parse("\"\xc3\xa9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW((void)u::json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)u::json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)u::json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)u::json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)u::json::parse("tru"), std::runtime_error);
+  EXPECT_THROW((void)u::json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)u::json::parse("1 2"), std::runtime_error);  // trailing
+  EXPECT_THROW((void)u::json::parse("{}").at("missing"), std::runtime_error);
+  EXPECT_THROW((void)u::json::parse("[]").as_object(), std::runtime_error);
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder) {
+  u::json::Value doc{u::json::Value::Object{}};
+  doc.set("z", 1);
+  doc.set("a", 2);
+  EXPECT_EQ(doc.dump(), R"({"z":1,"a":2})");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 2.0);
 }
