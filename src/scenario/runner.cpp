@@ -23,8 +23,13 @@ double run_scenario(const Scenario& scenario,
   run.stages.reserve(plan.stages.size());
   const sweep::SweepRunner runner(options.sweep);
   for (Stage& stage : plan.stages) {
+    const auto stage_start = std::chrono::steady_clock::now();
+    sweep::SweepResult result =
+        runner.run(stage.grid, stage.metrics, stage.evaluate);
+    const std::chrono::duration<double> stage_elapsed =
+        std::chrono::steady_clock::now() - stage_start;
     run.stages.push_back(
-        {stage.name, runner.run(stage.grid, stage.metrics, stage.evaluate)});
+        {stage.name, std::move(result), stage_elapsed.count()});
   }
   if (plan.render) plan.render(run, emitter);
   const std::chrono::duration<double> elapsed =

@@ -40,6 +40,10 @@ struct Stage {
 struct StageResult {
   std::string name;
   sweep::SweepResult result;
+  /// Wall time of the stage's sweep, seconds. Exported to the JSON result
+  /// documents as an informational field; the baseline diff ignores it, so a
+  /// perf regression can be localized to a stage without failing on noise.
+  double seconds = 0.0;
 };
 
 struct ScenarioRun {

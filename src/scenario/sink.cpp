@@ -53,6 +53,9 @@ util::json::Value run_to_json(const Scenario& scenario, const ScenarioRun& run,
   for (const StageResult& stage : run.stages) {
     Value entry{Value::Object{}};
     entry.set("name", stage.name);
+    // Informational: the baseline diff never compares per-stage or per-point
+    // timing, so these fields can drift freely between machines.
+    entry.set("wall_seconds", stage.seconds);
 
     Value::Array axes;
     for (const std::string& axis : stage.result.axis_names())
@@ -73,6 +76,7 @@ util::json::Value run_to_json(const Scenario& scenario, const ScenarioRun& run,
       Value::Array row_metrics;
       for (const double value : row.metrics) row_metrics.emplace_back(value);
       row_entry.set("metrics", std::move(row_metrics));
+      row_entry.set("wall_seconds", row.seconds);
       rows.push_back(std::move(row_entry));
     }
     entry.set("rows", std::move(rows));

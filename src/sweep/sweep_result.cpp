@@ -13,7 +13,7 @@ SweepResult::SweepResult(std::vector<std::string> axis_names,
       rows_(rows) {}
 
 void SweepResult::set_row(std::size_t index, GridPoint point,
-                          std::vector<double> metrics) {
+                          std::vector<double> metrics, double seconds) {
   if (metrics.size() != metric_names_.size()) {
     throw std::invalid_argument(
         "SweepResult::set_row: expected " +
@@ -23,6 +23,7 @@ void SweepResult::set_row(std::size_t index, GridPoint point,
   Row& row = rows_.at(index);
   row.point = std::move(point);
   row.metrics = std::move(metrics);
+  row.seconds = seconds;
 }
 
 double SweepResult::metric(std::size_t row, const std::string& name) const {

@@ -18,6 +18,10 @@ class SweepResult {
   struct Row {
     GridPoint point;
     std::vector<double> metrics;
+    /// Wall time spent evaluating this point, seconds. Informational only:
+    /// it is exported to the JSON result documents but never participates in
+    /// baseline regression comparisons (timing varies run to run).
+    double seconds = 0.0;
   };
 
   SweepResult() = default;
@@ -41,7 +45,8 @@ class SweepResult {
   /// Store the outcome of grid point `index`. Called by SweepRunner (possibly
   /// from several threads, each on a distinct index — rows are preallocated so
   /// no rehashing/reallocation races exist).
-  void set_row(std::size_t index, GridPoint point, std::vector<double> metrics);
+  void set_row(std::size_t index, GridPoint point, std::vector<double> metrics,
+               double seconds = 0.0);
 
   /// Metric value by name; throws std::invalid_argument on an unknown name.
   [[nodiscard]] double metric(std::size_t row, const std::string& name) const;

@@ -1,5 +1,6 @@
 #include "sweep/sweep_runner.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace p2pvod::sweep {
@@ -14,10 +15,14 @@ SweepResult SweepRunner::run(const ParameterGrid& grid,
       0, count,
       [&](std::size_t index) {
         GridPoint point = grid.point(index);
+        const auto start = std::chrono::steady_clock::now();
         std::vector<double> metrics =
             fn(point, point_seed(options_.base_seed, index));
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
         // set_row validates the metric count.
-        result.set_row(index, std::move(point), std::move(metrics));
+        result.set_row(index, std::move(point), std::move(metrics),
+                       elapsed.count());
       },
       options_.pool);
 

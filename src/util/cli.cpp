@@ -140,4 +140,12 @@ std::uint32_t scaled_count(std::uint32_t base, std::uint32_t min_value) {
   return static_cast<std::uint32_t>(rounded);
 }
 
+std::optional<long> env_positive_long(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return std::nullopt;
+  const long parsed = std::strtol(env, nullptr, 10);
+  if (parsed <= 0) return std::nullopt;
+  return parsed;
+}
+
 }  // namespace p2pvod::util

@@ -102,6 +102,28 @@ u::json::Value capture_json(const sc::Scenario& scenario) {
   return *capture.document();
 }
 
+/// Copy of `value` with every "wall_seconds" member below the top level
+/// removed — reconstructs the shape of a baseline recorded before per-stage
+/// and per-point timing existed.
+u::json::Value strip_inner_timing(const u::json::Value& value, int depth) {
+  if (value.is_object()) {
+    u::json::Value out{u::json::Value::Object{}};
+    for (const auto& [key, member] : value.as_object()) {
+      if (depth > 0 && key == "wall_seconds") continue;
+      out.set(key, strip_inner_timing(member, depth + 1));
+    }
+    return out;
+  }
+  if (value.is_array()) {
+    u::json::Value::Array out;
+    for (const auto& entry : value.as_array()) {
+      out.push_back(strip_inner_timing(entry, depth + 1));
+    }
+    return u::json::Value{std::move(out)};
+  }
+  return value;
+}
+
 /// Sink retaining a copy of the run so tests can rebuild JSON documents with
 /// a chosen wall time.
 struct RunCapture final : sc::ResultSink {
@@ -212,6 +234,26 @@ TEST(ScenarioSinks, RunToJsonRecordsStagesRowsAndWallTime) {
   EXPECT_DOUBLE_EQ(rows[2].at("metrics").as_array()[0].as_number(), 6.0);
 }
 
+TEST(ScenarioSinks, RunToJsonRecordsPerStageAndPerPointWallTimes) {
+  const auto document = capture_json(synthetic_scenario());
+  const auto& stage = document.at("stages").as_array()[0];
+  ASSERT_NE(stage.find("wall_seconds"), nullptr);
+  EXPECT_GE(stage.at("wall_seconds").as_number(), 0.0);
+  for (const auto& row : stage.at("rows").as_array()) {
+    ASSERT_NE(row.find("wall_seconds"), nullptr);
+    EXPECT_GE(row.at("wall_seconds").as_number(), 0.0);
+  }
+  // The timing fields survive a serialize/parse round trip unchanged.
+  const auto reparsed = u::json::parse(document.dump());
+  const auto& reparsed_stage = reparsed.at("stages").as_array()[0];
+  EXPECT_DOUBLE_EQ(reparsed_stage.at("wall_seconds").as_number(),
+                   stage.at("wall_seconds").as_number());
+  EXPECT_DOUBLE_EQ(reparsed_stage.at("rows").as_array()[1].at("wall_seconds")
+                       .as_number(),
+                   stage.at("rows").as_array()[1].at("wall_seconds")
+                       .as_number());
+}
+
 TEST(ScenarioSinks, JsonSinkWritesParseableBenchFile) {
   const std::string dir = testing::TempDir();
   sc::JsonSink sink(dir);
@@ -278,6 +320,43 @@ TEST(BaselineDiff, WallTimeRegressionFailsUnlessDisabled) {
   EXPECT_TRUE(sc::diff_against_baseline(baseline, current, strict).empty());
 }
 
+TEST(BaselineDiff, PerPointAndPerStageTimingNeverTriggersRegressions) {
+  // Per-stage / per-point wall times are informational: however wildly they
+  // drift from the baseline's, the diff must stay clean as long as metrics
+  // agree. (Only the top-level wall_seconds participates in the wall check.)
+  const sc::Scenario scenario = synthetic_scenario();
+  RunCapture capture;
+  sc::run_scenario(scenario, {&capture});
+  ASSERT_TRUE(capture.run.has_value());
+
+  sc::ScenarioRun slow_run = *capture.run;
+  for (auto& stage : slow_run.stages) {
+    stage.seconds += 3600.0;
+    // Rebuild the stage result with inflated per-point timings.
+    p2pvod::sweep::SweepResult inflated(stage.result.axis_names(),
+                                        stage.result.metric_names(),
+                                        stage.result.row_count());
+    for (std::size_t i = 0; i < stage.result.row_count(); ++i) {
+      const auto& row = stage.result.row(i);
+      inflated.set_row(i, row.point, row.metrics, row.seconds + 900.0);
+    }
+    stage.result = std::move(inflated);
+  }
+  const auto baseline = sc::run_to_json(scenario, *capture.run, 1.0);
+  const auto current = sc::run_to_json(scenario, slow_run, 1.0);
+
+  sc::BaselineOptions strict;
+  strict.wall_factor = 1.0;  // tightest wall budget: only top-level counts
+  strict.wall_slack = 0.0;
+  EXPECT_TRUE(sc::diff_against_baseline(current, baseline, strict).empty());
+
+  // And a baseline recorded BEFORE the timing fields existed (no
+  // wall_seconds on stages/rows) still diffs clean against a current run
+  // that has them — old baselines stay valid.
+  const auto stripped = strip_inner_timing(baseline, 0);
+  EXPECT_TRUE(sc::diff_against_baseline(current, stripped, strict).empty());
+}
+
 TEST(BaselineDiff, StructuralChangesFail) {
   const auto current = capture_json(synthetic_scenario());
 
@@ -314,17 +393,18 @@ TEST(BaselineDiff, MissingBaselineFileReportsViolation) {
 
 class ScenarioDeterminism : public testing::TestWithParam<const char*> {};
 
-// Every migrated scenario must print byte-identical tables on 1 thread and
-// on 4 threads (acceptance criterion for the sweep migration). Runs at a
-// reduced scale to keep the suite fast; the scale floors still exercise the
-// real sweep paths.
+// Every migrated scenario must print byte-identical tables on 1, 4, and 8
+// threads (acceptance criterion for the sweep migration, re-verified on the
+// work-stealing pool: stealing order and per-worker deques must not leak
+// into output). Runs at a reduced scale to keep the suite fast; the scale
+// floors still exercise the real sweep paths.
 TEST_P(ScenarioDeterminism, TablesAreByteIdenticalAcrossThreadCounts) {
   const ScopedEnv scale("P2PVOD_SCALE", "0.25");
   const sc::Scenario& scenario =
       sc::ScenarioRegistry::builtin().at(GetParam());
   const std::string serial = run_with_threads(scenario, 1);
-  const std::string parallel = run_with_threads(scenario, 4);
-  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, run_with_threads(scenario, 4));
+  EXPECT_EQ(serial, run_with_threads(scenario, 8));
   EXPECT_FALSE(serial.empty());
 }
 

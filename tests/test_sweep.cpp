@@ -271,6 +271,33 @@ TEST(SweepRunner, CalibratorTrialsMatchSerialCalls) {
   }
 }
 
+TEST(SweepRunner, RecordsPerPointWallTimes) {
+  sw::ParameterGrid grid;
+  grid.axis("u", {1.0, 2.0, 3.0});
+  u::ThreadPool pool(2);
+  const sw::SweepRunner runner({7, &pool});
+  const auto result = runner.run(
+      grid, {"one"}, [](const sw::GridPoint&, std::uint64_t) {
+        return std::vector<double>{1.0};
+      });
+  for (std::size_t i = 0; i < result.row_count(); ++i) {
+    EXPECT_GE(result.row(i).seconds, 0.0) << i;
+    EXPECT_TRUE(std::isfinite(result.row(i).seconds)) << i;
+  }
+}
+
+TEST(SweepResult, SetRowStoresSecondsAndDefaultsToZero) {
+  sw::SweepResult result({"u"}, {"m"}, 2);
+  sw::GridPoint point;
+  point.index = 0;
+  point.values = {1.0};
+  result.set_row(0, point, {4.0}, 0.125);
+  point.index = 1;
+  result.set_row(1, point, {5.0});
+  EXPECT_DOUBLE_EQ(result.row(0).seconds, 0.125);
+  EXPECT_DOUBLE_EQ(result.row(1).seconds, 0.0);
+}
+
 TEST(SweepResult, TableAndCsvShape) {
   sw::ParameterGrid grid;
   grid.axis("u", {1.0, 2.0}).axis("k", {3});

@@ -2,10 +2,13 @@
 // statistics, table rendering, thread pool, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <functional>
 #include <set>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -396,6 +399,117 @@ TEST(ThreadPool, ParallelMapPreservesOrder) {
   const auto out = u::parallel_map<std::size_t>(
       50, [](std::size_t i) { return i * i; });
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, SubmitWithPriorityRunsTask) {
+  u::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto high = pool.submit([&counter] { ++counter; }, u::TaskPriority::kHigh);
+  auto low = pool.submit([&counter] { ++counter; }, u::TaskPriority::kLow);
+  high.get();
+  low.get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+// --- parallel_for grain-size properties: every grain choice must cover the
+// --- range exactly once, whatever its relation to range and worker count.
+
+namespace {
+
+/// Runs parallel_for over [begin, end) with the given pool/grain and asserts
+/// exactly-once coverage.
+void expect_covers_once(std::size_t begin, std::size_t end,
+                        u::ThreadPool* pool, std::size_t grain) {
+  std::vector<std::atomic<int>> hits(end);
+  u::parallel_for(
+      begin, end, [&hits](std::size_t i) { hits[i].fetch_add(1); }, pool,
+      grain);
+  for (std::size_t i = 0; i < end; ++i) {
+    ASSERT_EQ(hits[i].load(), i < begin ? 0 : 1)
+        << "i=" << i << " grain=" << grain;
+  }
+}
+
+}  // namespace
+
+TEST(ParallelForGrain, EmptyRangeNeverCallsBody) {
+  u::ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{100}}) {
+    bool called = false;
+    u::parallel_for(
+        7, 7, [&](std::size_t) { called = true; }, &pool, grain);
+    EXPECT_FALSE(called) << grain;
+    // Inverted range behaves as empty, not as a crash or wraparound.
+    u::parallel_for(
+        9, 3, [&](std::size_t) { called = true; }, &pool, grain);
+    EXPECT_FALSE(called) << grain;
+  }
+}
+
+TEST(ParallelForGrain, RangeSmallerThanWorkerCount) {
+  u::ThreadPool pool(8);
+  for (const std::size_t grain :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    expect_covers_once(0, 3, &pool, grain);
+  }
+}
+
+TEST(ParallelForGrain, GrainLargerThanRangeDegradesToSerial) {
+  u::ThreadPool pool(4);
+  expect_covers_once(0, 5, &pool, 100);
+  expect_covers_once(2, 6, &pool, 4);  // exactly one chunk
+}
+
+TEST(ParallelForGrain, AssortedGrainsCoverAssortedRanges) {
+  u::ThreadPool pool(3);
+  for (const std::size_t count :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{64},
+        std::size_t{1000}}) {
+    for (const std::size_t grain :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{64},
+          std::size_t{5000}}) {
+      expect_covers_once(0, count, &pool, grain);
+    }
+  }
+}
+
+TEST(ParallelForGrain, NonZeroBeginRespectsOffsets) {
+  u::ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}}) {
+    expect_covers_once(13, 77, &pool, grain);
+  }
+}
+
+TEST(ParallelForGrain, ResultsIndependentOfGrainAndThreads) {
+  // The same deterministic body must produce identical outputs whatever the
+  // chunking: grain only changes scheduling, never the index->value map.
+  const std::function<std::uint64_t(std::size_t)> body =
+      [](std::size_t i) { return u::splitmix64_mix(i); };
+  u::ThreadPool serial(1);
+  u::ThreadPool wide(4);
+  const auto reference = u::parallel_map<std::uint64_t>(500, body, &serial);
+  for (const std::size_t grain :
+       {std::size_t{1}, std::size_t{9}, std::size_t{128}, std::size_t{1000}}) {
+    EXPECT_EQ(u::parallel_map<std::uint64_t>(500, body, &wide, grain),
+              reference)
+        << grain;
+  }
+}
+
+TEST(ParallelForGrain, EnvGrainKnobIsHonored) {
+  // P2PVOD_GRAIN only changes chunk shapes; coverage and results must not
+  // move. (Value 1 maximizes task count — the worst case for bookkeeping.)
+  u::ThreadPool pool(4);
+  setenv("P2PVOD_GRAIN", "1", 1);
+  expect_covers_once(0, 37, &pool, 0);
+  setenv("P2PVOD_GRAIN", "1000000", 1);
+  expect_covers_once(0, 37, &pool, 0);
+  setenv("P2PVOD_GRAIN", "garbage", 1);
+  expect_covers_once(0, 37, &pool, 0);
+  unsetenv("P2PVOD_GRAIN");
+  expect_covers_once(0, 37, &pool, 0);
 }
 
 // ----------------------------------------------------------------- cli
