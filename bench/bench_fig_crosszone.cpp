@@ -1,0 +1,6 @@
+// Thin shim: the E14 cross-zone traffic figure lives in the scenario
+// registry (src/scenario/figures/crosszone.cpp). `p2pvod_bench crosszone` is
+// the primary entry point; output is byte-identical.
+#include "scenario/runner.hpp"
+
+int main() { return p2pvod::scenario::run_figure_main("crosszone"); }

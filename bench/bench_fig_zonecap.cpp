@@ -1,0 +1,6 @@
+// Thin shim: the E15 zone link-cap figure lives in the scenario registry
+// (src/scenario/figures/zonecap.cpp). `p2pvod_bench zonecap` is the primary
+// entry point; output is byte-identical.
+#include "scenario/runner.hpp"
+
+int main() { return p2pvod::scenario::run_figure_main("zonecap"); }

@@ -7,6 +7,8 @@
 // Options (every --flag also reads env var P2PVOD_<FLAG>):
 //   --scale X        trial/size scale factor (exports P2PVOD_SCALE)
 //   --threads N      thread-pool size (exports P2PVOD_THREADS; 0 = all cores)
+//   --zones N        zone count for the topology scenarios E14/E15
+//                    (exports P2PVOD_ZONES)
 //   --seed S         sweep base seed (figures pin their own seeds; this only
 //                    affects scenarios that consume the derived per-point seed)
 //   --json-dir DIR   where BENCH_<id>.json files go (default ".")
@@ -54,6 +56,8 @@ void print_usage() {
       "  --all            run every registered scenario\n"
       "  --scale X        trial/size scale factor (default: P2PVOD_SCALE or 1)\n"
       "  --threads N      thread-pool size (default: P2PVOD_THREADS or cores)\n"
+      "  --zones N        zone count for the E14/E15 topology scenarios\n"
+      "                   (default: P2PVOD_ZONES or 4)\n"
       "  --seed S         sweep base seed (figure scenarios pin their own)\n"
       "  --json-dir DIR   directory for BENCH_<id>.json results (default .)\n"
       "  --no-json        do not write JSON result files\n"
@@ -91,7 +95,8 @@ int main(int argc, char** argv) {
   static const std::vector<std::string> kKnownOptions = {
       "all",       "atol",     "baseline", "csv-dir",    "help",
       "json-dir",  "list",     "no-json",  "no-tables",  "rtol",
-      "scale",     "seed",     "threads",  "wall-factor", "wall-slack"};
+      "scale",     "seed",     "threads",  "wall-factor", "wall-slack",
+      "zones"};
   for (const std::string& name : args.option_names()) {
     if (std::find(kKnownOptions.begin(), kKnownOptions.end(), name) ==
         kKnownOptions.end()) {
@@ -111,6 +116,9 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("option --scale: must be > 0");
     }
     (void)args.get_int("threads", 0);
+    if (args.get_int("zones", 1) <= 0) {
+      throw std::invalid_argument("option --zones: must be > 0");
+    }
   } catch (const std::exception& error) {
     std::cerr << "p2pvod_bench: " << error.what() << "\n";
     return 2;
@@ -120,6 +128,9 @@ int main(int argc, char** argv) {
   }
   if (const auto threads = args.get("threads"); threads.has_value()) {
     setenv("P2PVOD_THREADS", threads->c_str(), 1);
+  }
+  if (const auto zones = args.get("zones"); zones.has_value()) {
+    setenv("P2PVOD_ZONES", zones->c_str(), 1);
   }
 
   const scenario::ScenarioRegistry& registry =

@@ -14,6 +14,7 @@ void SystemConfig::validate() const {
   if (d <= 0.0) fail("d must be positive");
   if (mu < 1.0) fail("mu must be at least 1");
   if (duration <= 0) fail("duration must be positive");
+  if (zones > n) fail("zones must not exceed n");
 }
 
 std::string SystemConfig::describe() const {
@@ -23,6 +24,7 @@ std::string SystemConfig::describe() const {
   if (c != 0) out << " c=" << c;
   if (k != 0) out << " k=" << k;
   if (m != 0) out << " m=" << m;
+  if (zones != 0) out << " zones=" << zones;
   out << " scheme=" << alloc::scheme_name(scheme) << " seed=" << seed;
   return out.str();
 }

@@ -29,6 +29,12 @@ struct SystemConfig {
   std::uint32_t k = 0;  ///< replicas per stripe
   std::uint32_t m = 0;  ///< catalog size (0 = ⌊d·n/k⌋)
 
+  // --- network topology (0 = the paper's uniform cloud, no topology) ---
+  /// Number of zones; boxes are assigned round-robin and serving across
+  /// zones costs 1 transit unit per connection (intra-zone is free). The
+  /// matching then minimizes cross-zone traffic (src/net, flow/min_cost).
+  std::uint32_t zones = 0;
+
   // --- machinery ---
   alloc::Scheme scheme = alloc::Scheme::kPermutation;
   sim::StrategyKind strategy = sim::StrategyKind::kPreloading;

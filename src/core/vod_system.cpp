@@ -55,6 +55,7 @@ VodSystem VodSystem::build(const SystemConfig& config) {
   system.simulator_options_.engine = cfg.engine;
   system.simulator_options_.incremental = cfg.incremental_matching;
   system.simulator_options_.strict = cfg.strict;
+  system.install_topology();
   return system;
 }
 
@@ -116,7 +117,18 @@ VodSystem VodSystem::build_heterogeneous(const SystemConfig& config,
   system.simulator_options_.strict = cfg.strict;
   system.simulator_options_.capacity_override =
       system.compensation_->capacity_slots();
+  system.install_topology();
   return system;
+}
+
+void VodSystem::install_topology() {
+  if (config_.zones == 0) return;
+  // Round-robin zones with unit inter-zone transit cost: the matching then
+  // minimizes cross-zone traffic each round without changing feasibility.
+  auto topology = net::Topology::uniform(config_.n, config_.zones);
+  topology.set_uniform_cost(0, 1);
+  topology_ = std::make_unique<net::Topology>(std::move(topology));
+  simulator_options_.topology = topology_.get();
 }
 
 std::unique_ptr<sim::Simulator> VodSystem::make_simulator() const {
@@ -134,6 +146,7 @@ std::string VodSystem::describe() const {
   out << config_.describe() << " | " << catalog_->describe() << " | "
       << allocation_->describe();
   if (compensation_) out << " | " << compensation_->describe();
+  if (topology_) out << " | " << topology_->describe();
   return out.str();
 }
 

@@ -23,6 +23,7 @@
 #include "hetero/compensation.hpp"
 #include "model/capacity.hpp"
 #include "model/catalog.hpp"
+#include "net/topology.hpp"
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
 #include "sim/strategy.hpp"
@@ -62,10 +63,17 @@ class VodSystem {
       const {
     return compensation_;
   }
+  /// The zone topology simulators run against (config.zones > 0), else null.
+  [[nodiscard]] const net::Topology* topology() const {
+    return topology_.get();
+  }
   [[nodiscard]] std::string describe() const;
 
  private:
   VodSystem(SystemConfig config, model::CapacityProfile profile);
+  /// Build the zone topology from config.zones and point the simulator
+  /// options at it (no-op when zones == 0).
+  void install_topology();
 
   SystemConfig config_;
   model::CapacityProfile profile_;
@@ -73,6 +81,7 @@ class VodSystem {
   std::unique_ptr<alloc::Allocation> allocation_;
   std::unique_ptr<sim::RequestStrategy> strategy_;
   std::optional<hetero::CompensationPlan> compensation_;
+  std::unique_ptr<net::Topology> topology_;  ///< stable address for options_
   sim::SimulatorOptions simulator_options_;
 };
 

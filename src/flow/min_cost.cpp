@@ -1,0 +1,206 @@
+#include "flow/min_cost.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "flow/graph.hpp"
+
+namespace p2pvod::flow {
+
+namespace {
+
+constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+void validate(const ConnectionProblem& problem, const EdgeCosts& costs) {
+  if (costs.size() != problem.request_count())
+    throw std::invalid_argument(
+        "MinCostMatcher: costs row count != request count");
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    if (costs[r].size() != problem.candidates(r).size())
+      throw std::invalid_argument(
+          "MinCostMatcher: costs row shape != candidate set");
+    for (const Cost c : costs[r]) {
+      if (c < 0)
+        throw std::invalid_argument("MinCostMatcher: negative edge cost");
+    }
+  }
+}
+
+bool all_zero(const EdgeCosts& costs) {
+  for (const auto& row : costs) {
+    for (const Cost c : row) {
+      if (c != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MinCostResult MinCostMatcher::solve(const ConnectionProblem& problem,
+                                    const EdgeCosts& costs) {
+  validate(problem, costs);
+
+  // All-zero costs: every maximum matching is min-cost, so the plain Dinic
+  // feasibility solve is the answer (and the cheaper path).
+  if (all_zero(costs)) {
+    MinCostResult result;
+    result.match = problem.solve(Engine::kDinic);
+    return result;
+  }
+
+  const std::uint32_t boxes = problem.box_count();
+  const std::uint32_t requests = problem.request_count();
+  FlowNetwork network(boxes + requests + 2);
+  const NodeId source = boxes + requests;
+  const NodeId sink = source + 1;
+
+  // edge_cost[e] is the cost of traversing (forward or residual) edge e;
+  // reverse edges refund the forward cost.
+  std::vector<Cost> edge_cost;
+  const auto add_edge = [&](NodeId from, NodeId to, Capacity cap, Cost cost) {
+    const EdgeId id = network.add_edge(from, to, cap);
+    edge_cost.resize(id + 2, 0);
+    edge_cost[id] = cost;
+    edge_cost[id + 1] = -cost;
+    return id;
+  };
+
+  for (std::uint32_t b = 0; b < boxes; ++b) {
+    if (problem.capacity(b) > 0) add_edge(source, b, problem.capacity(b), 0);
+  }
+  std::vector<std::vector<EdgeId>> request_box_edges(requests);
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    const auto& candidates = problem.candidates(r);
+    request_box_edges[r].reserve(candidates.size());
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      request_box_edges[r].push_back(
+          add_edge(candidates[j], boxes + r, 1, costs[r][j]));
+    }
+    add_edge(boxes + r, sink, 1, 0);
+  }
+
+  // Successive shortest paths with Johnson potentials. All original costs
+  // are non-negative, so the initial zero potentials are feasible and every
+  // reduced cost stays non-negative across augmentations.
+  const NodeId nodes = network.node_count();
+  std::vector<Cost> potential(nodes, 0);
+  std::vector<Cost> dist(nodes);
+  std::vector<EdgeId> parent_edge(nodes);
+  std::vector<bool> settled(nodes);
+
+  for (;;) {
+    dist.assign(nodes, kInfCost);
+    settled.assign(nodes, false);
+    dist[source] = 0;
+    using Entry = std::pair<Cost, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    queue.push({0, source});
+    while (!queue.empty()) {
+      const auto [d, v] = queue.top();
+      queue.pop();
+      if (settled[v]) continue;
+      settled[v] = true;
+      for (const EdgeId e : network.adjacency(v)) {
+        if (network.residual(e) <= 0) continue;
+        const NodeId to = network.edge_to(e);
+        const Cost reduced = edge_cost[e] + potential[v] - potential[to];
+        if (dist[v] + reduced < dist[to]) {
+          dist[to] = dist[v] + reduced;
+          parent_edge[to] = e;
+          queue.push({dist[to], to});
+        }
+      }
+    }
+    if (dist[sink] >= kInfCost) break;  // no augmenting path left
+
+    for (NodeId v = 0; v < nodes; ++v) {
+      if (dist[v] < kInfCost) potential[v] += dist[v];
+    }
+
+    // Bottleneck is 1 (every path crosses a unit request->sink edge), but
+    // compute it anyway so the loop stays correct if the reduction changes.
+    Capacity bottleneck = kInfCapacity;
+    for (NodeId v = sink; v != source;) {
+      const EdgeId e = parent_edge[v];
+      bottleneck = std::min(bottleneck, network.residual(e));
+      v = network.edge_to(e ^ 1u);
+    }
+    for (NodeId v = sink; v != source;) {
+      const EdgeId e = parent_edge[v];
+      network.push(e, bottleneck);
+      v = network.edge_to(e ^ 1u);
+    }
+  }
+
+  MinCostResult result;
+  result.match.assignment.assign(requests, -1);
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    const auto& candidates = problem.candidates(r);
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (network.flow_on(request_box_edges[r][j]) > 0) {
+        result.match.assignment[r] = static_cast<std::int32_t>(candidates[j]);
+        result.total_cost += costs[r][j];
+        ++result.match.served;
+        break;
+      }
+    }
+  }
+  result.match.complete = (result.match.served == requests);
+  return result;
+}
+
+MinCostResult min_cost_brute_force(const ConnectionProblem& problem,
+                                   const EdgeCosts& costs) {
+  validate(problem, costs);
+  const std::uint32_t requests = problem.request_count();
+
+  double states = 1.0;
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    states *= static_cast<double>(problem.candidates(r).size() + 1);
+    if (states > static_cast<double>(1u << 22))
+      throw std::invalid_argument(
+          "min_cost_brute_force: instance too large to enumerate");
+  }
+
+  std::vector<std::uint32_t> remaining(problem.capacities());
+  std::vector<std::int32_t> assignment(requests, -1);
+  MinCostResult best;
+  best.match.assignment.assign(requests, -1);
+  best.total_cost = kInfCost;
+
+  // Depth-first over requests: leave r unserved or give it any candidate
+  // with spare capacity; keep (max served, min cost) at the leaves.
+  const auto recurse = [&](const auto& self, std::uint32_t r,
+                           std::uint32_t served, Cost cost) -> void {
+    if (r == requests) {
+      if (served > best.match.served ||
+          (served == best.match.served && cost < best.total_cost)) {
+        best.match.served = served;
+        best.total_cost = cost;
+        best.match.assignment = assignment;
+      }
+      return;
+    }
+    const auto& candidates = problem.candidates(r);
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      const std::uint32_t b = candidates[j];
+      if (remaining[b] == 0) continue;
+      --remaining[b];
+      assignment[r] = static_cast<std::int32_t>(b);
+      self(self, r + 1, served + 1, cost + costs[r][j]);
+      assignment[r] = -1;
+      ++remaining[b];
+    }
+    self(self, r + 1, served, cost);
+  };
+  recurse(recurse, 0, 0, 0);  // the all-unserved leaf always updates `best`
+
+  best.match.complete = (best.match.served == requests);
+  return best;
+}
+
+}  // namespace p2pvod::flow

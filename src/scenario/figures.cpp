@@ -15,6 +15,8 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(make_obstruction_scenario());
   registry.add(make_baseline_scenario());
   registry.add(make_churn_scenario());
+  registry.add(make_crosszone_scenario());
+  registry.add(make_zonecap_scenario());
 }
 
 }  // namespace p2pvod::scenario

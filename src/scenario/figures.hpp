@@ -24,8 +24,10 @@ Scenario make_startup_delay_scenario();   // E9  — constant start-up delay
 Scenario make_obstruction_scenario();     // E10 — union bound vs measured
 Scenario make_baseline_scenario();        // E11 — full replication baseline
 Scenario make_churn_scenario();           // E13 — churn tolerance (extension)
+Scenario make_crosszone_scenario();       // E14 — cross-zone traffic vs u
+Scenario make_zonecap_scenario();         // E15 — threshold under link caps
 
-/// Register all 12 builtin scenarios in figure order. Throws (via add) if
+/// Register all 14 builtin scenarios in figure order. Throws (via add) if
 /// any id is already present in `registry`.
 void register_builtin_scenarios(ScenarioRegistry& registry);
 

@@ -1,0 +1,126 @@
+// E14 (extension, not in the paper) — cross-zone traffic fraction vs u near
+// the threshold.
+//
+// Boxes live in zones (P2PVOD_ZONES, default 4, round-robin membership) with
+// free intra-zone serving and unit-cost inter-zone transit; each round's
+// matching minimizes total transit among maximum matchings (flow/min_cost).
+// Sweeping the normalized upload u across the threshold shows how much
+// locality the min-cost matcher can buy: with spare capacity (u >> 1) most
+// chunks come from the local zone, while near u = 1 the matcher is forced to
+// pull from wherever capacity remains. Feasibility itself never changes —
+// the min-cost matching is maximum, so continuity equals the cost-blind run.
+// Seeds 0xE1400/0xE14AA + trial, as in the serial harnesses.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/figures.hpp"
+#include "scenario/figures/zones_common.hpp"
+#include "scenario/sink.hpp"
+#include "sim/report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::scenario {
+
+namespace {
+
+struct CrossZoneOutcome {
+  double mincost = 0.0;     ///< cross-zone share under min-cost matching
+  double blind = 0.0;       ///< same workload, cost-blind (zero-cost) matching
+  double continuity = 0.0;
+};
+
+/// One soak of the (u, seed) cell: `costed` selects the unit-inter-cost
+/// topology (min-cost matching) or the zero-cost one (MinCostMatcher then
+/// degrades to the plain Dinic solve — the cost-blind ablation; zone
+/// accounting still happens). Identical seeds either way, so the two runs see
+/// the same allocation and demand sequence.
+sim::RunReport soak(std::uint32_t n, std::uint32_t zones, double u,
+                    std::uint32_t t, bool costed) {
+  const auto topology = zone_family_topology(n, zones, costed ? 1 : 0);
+  return zone_family_soak(n, u, topology, /*strict=*/false, /*rounds=*/72,
+                          0xE1400 + t, 0xE14AA + t);
+}
+
+CrossZoneOutcome run_crosszone(std::uint32_t n, std::uint32_t zones, double u,
+                               std::uint32_t trials) {
+  CrossZoneOutcome out;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto costed = soak(n, zones, u, t, true);
+    const auto blind = soak(n, zones, u, t, false);
+    out.mincost += costed.cross_zone_fraction.count() > 0
+                       ? costed.cross_zone_fraction.mean()
+                       : 0.0;
+    out.blind += blind.cross_zone_fraction.count() > 0
+                     ? blind.cross_zone_fraction.mean()
+                     : 0.0;
+    out.continuity += costed.continuity();
+  }
+  out.mincost /= trials;
+  out.blind /= trials;
+  out.continuity /= trials;
+  return out;
+}
+
+const std::vector<double> kUploads = {0.50, 0.75, 1.00, 1.50, 2.00, 3.00};
+
+}  // namespace
+
+Scenario make_crosszone_scenario() {
+  Scenario scenario;
+  scenario.id = "crosszone";
+  scenario.figure = "E14";
+  scenario.title = "E14 / cross-zone traffic figure (extension)";
+  scenario.claim = "cross-zone chunk fraction vs u near the threshold";
+  scenario.plan = [] {
+    const std::uint32_t n = util::scaled_count(48, 24);
+    const std::uint32_t trials = util::scaled_count(3, 2);
+    const std::uint32_t zones = zones_from_env(4, n);
+
+    sweep::ParameterGrid grid;
+    grid.free_axis("u", kUploads);
+
+    Plan plan;
+    plan.stages.push_back(
+        {"main", std::move(grid),
+         {"mincost", "blind", "continuity"},
+         [n, zones, trials](const sweep::GridPoint& point,
+                            std::uint64_t /*seed*/) {
+           const auto outcome =
+               run_crosszone(n, zones, point.values[0], trials);
+           return std::vector<double>{outcome.mincost, outcome.blind,
+                                      outcome.continuity};
+         }});
+
+    plan.render = [n, zones, trials](const ScenarioRun& run, Emitter& out) {
+      util::Table table("n=" + std::to_string(n) + ", zones=" +
+                        std::to_string(zones) +
+                        " (round-robin), c=4, k=6, intra cost 0 / inter 1, "
+                        "72-round Zipf soak (" + std::to_string(trials) +
+                        " seeds)");
+      table.set_header({"u", "cross-zone (min-cost)", "cross-zone (blind)",
+                        "continuity"});
+      for (const auto& row : run.stage(0).rows()) {
+        table.begin_row().cell(row.point.values[0]);
+        table.cell(row.metrics[0], 4);
+        table.cell(row.metrics[1], 4);
+        table.cell(row.metrics[2], 4);
+      }
+      out.table(table, "E14_crosszone");
+      out.text("\nExpected shape: a cost-blind matcher routes most chunks "
+               "across zones (roughly\nthe foreign share of replicas); the "
+               "min-cost matcher pins traffic near the\nstructural floor — "
+               "the requests whose stripe simply has no local copy. "
+               "The\nlocality win shrinks as u drops toward the threshold: "
+               "with no spare local\nslots the min-cost matcher too must pull "
+               "from wherever capacity remains.\nContinuity is identical in "
+               "both columns at every u — min-cost matching is\nstill a "
+               "maximum matching, so locality never costs feasibility.\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace p2pvod::scenario

@@ -1,0 +1,132 @@
+// E15 (extension, not in the paper) — locality-constrained feasibility:
+// threshold shift under zone link caps.
+//
+// Same zone topology as E14, but every inter-zone link additionally carries a
+// hard capacity cap (stripe connections per round, per directed zone pair).
+// Connections beyond a cap are admission-controlled away; a request that
+// cannot be rescued over another link goes unserved, which in strict mode is
+// a feasibility failure. The paper's threshold u = 1 assumes transit is free
+// *and unlimited*; capping the links shifts the measured threshold upward —
+// the tighter the caps, the more upload headroom the system needs before
+// every round's matching fits inside the links. Cap 0 in the axis is the
+// "unlimited" sentinel (the E14 regime). Seeds 0xE1500/0xE15AA + trial.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/figures.hpp"
+#include "scenario/figures/zones_common.hpp"
+#include "scenario/sink.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::scenario {
+
+namespace {
+
+struct ZoneCapOutcome {
+  double success = 0.0;     ///< fraction of trials with every chunk served
+  double rejections = 0.0;  ///< mean link-cap rejections per trial
+  double crosszone = 0.0;   ///< mean per-round cross-zone share
+};
+
+ZoneCapOutcome run_zonecap(std::uint32_t n, std::uint32_t zones, double u,
+                           std::uint32_t cap, std::uint32_t trials) {
+  auto topology = zone_family_topology(n, zones, 1);
+  if (cap > 0) topology.set_uniform_link_cap(cap);
+
+  ZoneCapOutcome out;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto report = zone_family_soak(n, u, topology, /*strict=*/true,
+                                         /*rounds=*/48, 0xE1500 + t,
+                                         0xE15AA + t);
+    if (report.success) out.success += 1.0;
+    out.rejections += static_cast<double>(report.link_cap_rejections);
+    out.crosszone += report.cross_zone_fraction.count() > 0
+                         ? report.cross_zone_fraction.mean()
+                         : 0.0;
+  }
+  out.success /= trials;
+  out.rejections /= trials;
+  out.crosszone /= trials;
+  return out;
+}
+
+// Axis order matters for the table layout: cap slowest, u fastest.
+const std::vector<double> kCaps = {0, 6, 3, 2};  // 0 = unlimited
+const std::vector<double> kUploads = {0.75, 1.00, 1.50, 2.00, 3.00};
+
+std::string cap_label(double cap) {
+  return cap == 0 ? std::string("inf")
+                  : std::to_string(static_cast<std::uint32_t>(cap));
+}
+
+}  // namespace
+
+Scenario make_zonecap_scenario() {
+  Scenario scenario;
+  scenario.id = "zonecap";
+  scenario.figure = "E15";
+  scenario.title = "E15 / zone link-cap figure (extension)";
+  scenario.claim = "threshold shift under per-zone-pair link capacity caps";
+  scenario.plan = [] {
+    const std::uint32_t n = util::scaled_count(48, 24);
+    const std::uint32_t trials = util::scaled_count(6, 2);
+    const std::uint32_t zones = zones_from_env(4, n);
+
+    sweep::ParameterGrid grid;
+    grid.free_axis("cap", kCaps).free_axis("u", kUploads);
+
+    Plan plan;
+    plan.stages.push_back(
+        {"main", std::move(grid),
+         {"success", "rejections", "crosszone"},
+         [n, zones, trials](const sweep::GridPoint& point,
+                            std::uint64_t /*seed*/) {
+           const auto cap = static_cast<std::uint32_t>(point.values[0]);
+           const double u = point.values[1];
+           const auto outcome = run_zonecap(n, zones, u, cap, trials);
+           return std::vector<double>{outcome.success, outcome.rejections,
+                                      outcome.crosszone};
+         }});
+
+    plan.render = [n, zones, trials](const ScenarioRun& run, Emitter& out) {
+      util::Table table("strict feasibility over " + std::to_string(trials) +
+                        " seeds, n=" + std::to_string(n) + ", zones=" +
+                        std::to_string(zones) +
+                        ", 48-round Zipf demand; cap = connections per "
+                        "directed zone pair per round");
+      std::vector<std::string> header{"u"};
+      for (const double cap : kCaps)
+        header.push_back("cap=" + cap_label(cap));
+      header.push_back("rejections (cap=" + cap_label(kCaps.back()) + ")");
+      table.set_header(header);
+
+      // Row-major with cap slowest: cell (cap ci, u ui) is point
+      // ci * |u| + ui.
+      const std::size_t u_count = kUploads.size();
+      for (std::size_t ui = 0; ui < u_count; ++ui) {
+        table.begin_row().cell(kUploads[ui]);
+        for (std::size_t ci = 0; ci < kCaps.size(); ++ci) {
+          table.cell(run.stage(0).row(ci * u_count + ui).metrics[0], 3);
+        }
+        const auto& tightest =
+            run.stage(0).row((kCaps.size() - 1) * u_count + ui);
+        table.cell(tightest.metrics[1], 2);
+      }
+      out.table(table, "E15_zonecap");
+      out.text("\nExpected shape: with unlimited links the success column "
+               "reproduces the E2\nphase transition; moderate caps push the "
+               "transition to larger u — the system\nneeds spare local "
+               "headroom before each round's matching fits inside the "
+               "links.\nCaps below the structural cross-zone floor (stripes "
+               "with no local copy at all)\ncannot be bought back with upload: "
+               "that column stays near zero at every u,\nthe placement-driven "
+               "limit the Tan & Massoulie line of work predicts.\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace p2pvod::scenario

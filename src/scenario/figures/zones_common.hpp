@@ -1,0 +1,80 @@
+// Shared knobs of the E14/E15 zone-topology scenario family.
+//
+// Both figures run the same protocol point (c=4, k=6, d=4, m = max(1, d·n/k))
+// on the same round-robin topology and read the zone count from the same env
+// knob, so the rules live here once: a change to the P2PVOD_ZONES default or
+// its clamp-to-n behavior (documented in the README) must hit both scenarios.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "alloc/permutation.hpp"
+#include "model/capacity.hpp"
+#include "model/catalog.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace p2pvod::scenario {
+
+/// Protocol constants shared by the zone family (E2's fixed protocol).
+inline constexpr std::uint32_t kZoneFamilyStripes = 4;   // c
+inline constexpr std::uint32_t kZoneFamilyReplicas = 6;  // k
+inline constexpr double kZoneFamilyStorage = 4.0;        // d
+
+/// Catalog size m = max(1, d·n/k).
+[[nodiscard]] inline std::uint32_t zone_family_catalog(std::uint32_t n) {
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(kZoneFamilyStorage * n /
+                                    kZoneFamilyReplicas));
+}
+
+/// Zone count: P2PVOD_ZONES when set (else `fallback`, 4 for the builtin
+/// figures), clamped to n so every zone can hold at least one box.
+[[nodiscard]] inline std::uint32_t zones_from_env(std::uint32_t fallback,
+                                                  std::uint32_t n) {
+  std::uint32_t zones = fallback;
+  if (const auto env = util::env_positive_long("P2PVOD_ZONES"); env) {
+    zones = static_cast<std::uint32_t>(*env);
+  }
+  return std::min(zones, n);
+}
+
+/// The family's topology: round-robin membership, free intra-zone serving,
+/// `inter` transit units across zones (0 = the cost-blind ablation).
+[[nodiscard]] inline net::Topology zone_family_topology(std::uint32_t n,
+                                                        std::uint32_t zones,
+                                                        net::Cost inter) {
+  auto topology = net::Topology::uniform(n, zones);
+  topology.set_uniform_cost(0, inter);
+  return topology;
+}
+
+/// One trial of the family's workload: T=12 catalog, homogeneous (u, d)
+/// profile, permutation allocation seeded `alloc_seed`, preloading strategy,
+/// and a 0.8-Zipf audience demanding at rate 0.45 (seeded `demand_seed`) for
+/// `rounds` rounds against `topology` (which must span n boxes). Strict runs
+/// stop at the first stall, as everywhere else.
+[[nodiscard]] inline sim::RunReport zone_family_soak(
+    std::uint32_t n, double u, const net::Topology& topology, bool strict,
+    model::Round rounds, std::uint64_t alloc_seed, std::uint64_t demand_seed) {
+  const auto m = zone_family_catalog(n);
+  const model::Catalog catalog(m, kZoneFamilyStripes, 12);
+  const auto profile =
+      model::CapacityProfile::homogeneous(n, u, kZoneFamilyStorage);
+  util::Rng rng(alloc_seed);
+  const auto allocation = alloc::PermutationAllocator().allocate(
+      catalog, profile, kZoneFamilyReplicas, rng);
+  sim::PreloadingStrategy strategy;
+  sim::SimulatorOptions options;
+  options.strict = strict;
+  options.topology = &topology;
+  sim::Simulator simulator(catalog, profile, allocation, strategy, options);
+  workload::ZipfDemand audience(m, 0.8, 0.45, demand_seed);
+  return simulator.run(audience, rounds);
+}
+
+}  // namespace p2pvod::scenario

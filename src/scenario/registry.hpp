@@ -3,7 +3,7 @@
 // The registry maps scenario ids to their definitions; the unified
 // p2pvod_bench driver, the legacy per-figure shim binaries, and the tests
 // all resolve scenarios through it. Instances are cheap (tests build their
-// own); builtin() is the lazily-populated singleton holding the paper's 12
+// own); builtin() is the lazily-populated singleton holding the 14 builtin
 // figure/table scenarios, registered explicitly (no static-initializer
 // tricks, so nothing depends on object-file link order).
 #pragma once
@@ -37,7 +37,7 @@ class ScenarioRegistry {
 
   [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
 
-  /// The 12 builtin paper scenarios (E1..E11, E13), registered on first use.
+  /// The 14 builtin scenarios (E1..E11, E13..E15), registered on first use.
   static const ScenarioRegistry& builtin();
 
  private:

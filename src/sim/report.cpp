@@ -25,6 +25,13 @@ std::string RunReport::summary() const {
   if (upload_utilization.count() > 0) {
     out << " util=" << upload_utilization.mean();
   }
+  // Zone accounting only exists when a Topology was attached; stay silent
+  // otherwise so topology-less runs keep their historical summary bytes.
+  if (intra_zone_chunks + cross_zone_chunks + link_cap_rejections > 0) {
+    out << " crosszone=" << cross_zone_share()
+        << " zone_cost=" << zone_cost_total;
+    if (link_cap_rejections > 0) out << " link_rejects=" << link_cap_rejections;
+  }
   return out.str();
 }
 

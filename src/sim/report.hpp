@@ -39,6 +39,24 @@ struct RunReport {
   std::uint64_t new_connections = 0;
   std::uint64_t matcher_edges = 0;       ///< total candidate edges examined
 
+  // --- topology (zone-aware matching extension; all zero without one) ---
+  std::uint64_t intra_zone_chunks = 0;   ///< chunks served within a zone
+  std::uint64_t cross_zone_chunks = 0;   ///< chunks served across zones
+  /// Connections dropped at a capped zone link (admission control); a dropped
+  /// request may still be rescued over another link in the same round.
+  std::uint64_t link_cap_rejections = 0;
+  std::int64_t zone_cost_total = 0;      ///< Σ zone-pair costs of served chunks
+  util::OnlineStats cross_zone_fraction; ///< per-round cross-zone share of served
+
+  /// Lifetime cross-zone share of served chunks (0.0 when nothing served or
+  /// no topology was attached).
+  [[nodiscard]] double cross_zone_share() const noexcept {
+    const std::uint64_t total = intra_zone_chunks + cross_zone_chunks;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cross_zone_chunks) /
+                            static_cast<double>(total);
+  }
+
   /// Fraction of request-rounds served (1.0 on success).
   [[nodiscard]] double continuity() const noexcept {
     const std::uint64_t total = chunks_served + chunks_stalled;

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 
 #include "workload/demand.hpp"
 
 namespace p2pvod::sim {
+
+// solve_zone_aware feeds net::Cost values into flow::EdgeCosts; the aliases
+// live in layers that don't include each other, so pin their agreement here.
+static_assert(std::is_same_v<net::Cost, flow::Cost>,
+              "net::Cost and flow::Cost must be the same type");
 
 Simulator::Simulator(const model::Catalog& catalog,
                      const model::CapacityProfile& profile,
@@ -25,6 +31,9 @@ Simulator::Simulator(const model::Catalog& catalog,
   if (allocation_.stripe_count() != catalog_.stripe_count())
     throw std::invalid_argument(
         "Simulator: allocation/catalog stripe mismatch");
+  if (options_.topology != nullptr &&
+      options_.topology->box_count() != profile_.size())
+    throw std::invalid_argument("Simulator: topology/profile size mismatch");
   const std::uint32_t c = catalog_.stripes_per_video();
   if (options_.capacity_override.empty()) {
     capacity_slots_.resize(profile_.size());
@@ -154,7 +163,9 @@ void Simulator::solve_round() {
   report_.matcher_edges += problem.edge_count();
 
   flow::MatchResult result;
-  if (options_.incremental) {
+  if (options_.topology != nullptr) {
+    result = solve_zone_aware(problem);
+  } else if (options_.incremental) {
     result = matcher_.solve(problem, carry_);
     if (options_.verify_incremental) {
       const flow::MatchResult reference = problem.solve(options_.engine);
@@ -187,11 +198,123 @@ void Simulator::solve_round() {
                                    static_cast<double>(total_capacity_slots_));
   }
   carry_ = std::move(result.assignment);
-  // Connection-reuse accounting comes from the incremental matcher.
-  if (options_.incremental) {
+  // Connection-reuse accounting comes from the incremental matcher, which a
+  // topology supersedes — don't report stats from a matcher that never ran.
+  if (options_.incremental && options_.topology == nullptr) {
     report_.kept_connections = matcher_.stats().kept_connections;
     report_.new_connections = matcher_.stats().new_connections;
   }
+}
+
+flow::MatchResult Simulator::solve_zone_aware(
+    const flow::ConnectionProblem& problem) {
+  const net::Topology& topology = *options_.topology;
+
+  // Candidate edge (b, r) costs the zone-pair transit from b's zone into the
+  // requester's zone; the solver minimizes the round's total transit among
+  // maximum matchings (so feasibility answers match the Dinic path exactly).
+  flow::EdgeCosts costs(live_.size());
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    const net::ZoneId dest = topology.zone_of(live_[i].requester);
+    const auto& candidates = problem.candidates(static_cast<std::uint32_t>(i));
+    costs[i].reserve(candidates.size());
+    for (const std::uint32_t b : candidates) {
+      costs[i].push_back(topology.cost(topology.zone_of(b), dest));
+    }
+  }
+  flow::MatchResult result = flow::MinCostMatcher::solve(problem, costs).match;
+
+  if (topology.has_link_caps()) enforce_link_caps(problem, result);
+
+  // Per-round zone accounting over the final assignment.
+  std::uint64_t intra = 0;
+  std::uint64_t cross = 0;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    const std::int32_t assigned = result.assignment[i];
+    if (assigned < 0) continue;
+    const auto b = static_cast<model::BoxId>(assigned);
+    const net::ZoneId from = topology.zone_of(b);
+    const net::ZoneId to = topology.zone_of(live_[i].requester);
+    (from == to ? intra : cross) += 1;
+    report_.zone_cost_total += topology.cost(from, to);
+  }
+  report_.intra_zone_chunks += intra;
+  report_.cross_zone_chunks += cross;
+  if (intra + cross > 0) {
+    report_.cross_zone_fraction.add(static_cast<double>(cross) /
+                                    static_cast<double>(intra + cross));
+  }
+  return result;
+}
+
+void Simulator::enforce_link_caps(const flow::ConnectionProblem& problem,
+                                  flow::MatchResult& result) {
+  const net::Topology& topology = *options_.topology;
+  const std::uint32_t zones = topology.zone_count();
+  const auto pair_of = [&](model::BoxId server, model::BoxId client) {
+    return static_cast<std::size_t>(topology.zone_of(server)) * zones +
+           topology.zone_of(client);
+  };
+
+  std::vector<std::uint32_t> budget(static_cast<std::size_t>(zones) * zones);
+  for (net::ZoneId a = 0; a < zones; ++a) {
+    for (net::ZoneId b = 0; b < zones; ++b) {
+      budget[static_cast<std::size_t>(a) * zones + b] = topology.link_cap(a, b);
+    }
+  }
+
+  // Pass 1 — admission control in request order: connections beyond a link's
+  // cap are dropped and counted. Deterministic (no RNG, fixed order).
+  std::vector<std::uint32_t> rejected;
+  for (std::uint32_t r = 0; r < result.assignment.size(); ++r) {
+    const std::int32_t assigned = result.assignment[r];
+    if (assigned < 0) continue;
+    std::uint32_t& left =
+        budget[pair_of(static_cast<model::BoxId>(assigned),
+                       live_[r].requester)];
+    if (left == net::kUnlimitedLink) continue;
+    if (left == 0) {
+      result.assignment[r] = -1;
+      --result.served;
+      ++report_.link_cap_rejections;
+      rejected.push_back(r);
+    } else {
+      --left;
+    }
+  }
+
+  // Pass 2 — one greedy rescue attempt per dropped request: the cheapest
+  // candidate (ties to the lowest box id) with spare upload slots and link
+  // budget. No augmenting here; a rescue never displaces a kept connection.
+  if (!rejected.empty()) {
+    std::vector<std::uint32_t> degree =
+        result.box_degrees(problem.box_count());
+    for (const std::uint32_t r : rejected) {
+      const auto& candidates = problem.candidates(r);
+      std::int32_t best = -1;
+      net::Cost best_cost = 0;
+      for (const std::uint32_t b : candidates) {
+        if (degree[b] >= problem.capacity(b)) continue;
+        const std::size_t pair = pair_of(b, live_[r].requester);
+        if (budget[pair] == 0) continue;  // kUnlimitedLink is never 0
+        const net::Cost cost = topology.box_cost(b, live_[r].requester);
+        if (best < 0 || cost < best_cost ||
+            (cost == best_cost && b < static_cast<std::uint32_t>(best))) {
+          best = static_cast<std::int32_t>(b);
+          best_cost = cost;
+        }
+      }
+      if (best < 0) continue;
+      result.assignment[r] = best;
+      ++result.served;
+      ++degree[static_cast<std::uint32_t>(best)];
+      std::uint32_t& left =
+          budget[pair_of(static_cast<model::BoxId>(best), live_[r].requester)];
+      if (left != net::kUnlimitedLink) --left;
+    }
+  }
+  result.complete =
+      (result.served == static_cast<std::uint32_t>(result.assignment.size()));
 }
 
 void Simulator::retire_completed() {

@@ -26,7 +26,9 @@
 #include "alloc/allocation.hpp"
 #include "flow/bipartite.hpp"
 #include "flow/matcher.hpp"
+#include "flow/min_cost.hpp"
 #include "model/capacity.hpp"
+#include "net/topology.hpp"
 #include "model/catalog.hpp"
 #include "model/ids.hpp"
 #include "sim/cache.hpp"
@@ -61,6 +63,12 @@ struct SimulatorOptions {
   /// Per-box upload override in stripe slots (hetero relay reserves upload);
   /// empty = ⌊u_b c⌋ from the capacity profile.
   std::vector<std::uint32_t> capacity_override;
+  /// Zone topology (not owned; must outlive the simulator). When set, each
+  /// round's matching minimizes total zone-pair cost among maximum matchings
+  /// (flow/min_cost) and cross-zone traffic is accounted in RunReport; link
+  /// caps, when present, admission-control per-zone-pair connections.
+  /// Supersedes `incremental` — connection reuse is not cost-aware.
+  const net::Topology* topology = nullptr;
 };
 
 class Simulator {
@@ -138,6 +146,12 @@ class Simulator {
   void admit(const Demand& demand);
   void activate_pending();
   void solve_round();
+  /// Cost-aware matching for the round (options_.topology set): min-cost
+  /// solve, link-cap admission control, cross-zone accounting.
+  [[nodiscard]] flow::MatchResult solve_zone_aware(
+      const flow::ConnectionProblem& problem);
+  void enforce_link_caps(const flow::ConnectionProblem& problem,
+                         flow::MatchResult& result);
   void retire_completed();
   void abort_session(SessionId id);
 

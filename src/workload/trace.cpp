@@ -1,7 +1,10 @@
 #include "workload/trace.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,12 +37,52 @@ void Trace::save_file(const std::string& path) const {
 Trace Trace::load(std::istream& in) {
   std::vector<TraceEntry> entries;
   std::string line;
+  std::size_t line_number = 0;
+  const auto fail = [&line_number](const std::string& what) {
+    throw std::runtime_error("Trace::load: line " +
+                             std::to_string(line_number) + ": " + what);
+  };
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
+    // Fields are tokenized first and parsed as signed 64-bit with strtoll so
+    // a negative or non-numeric box id is an error instead of silently
+    // wrapping through unsigned extraction, and an overflowing value is
+    // blamed on its own token (istream extraction would consume it and point
+    // the diagnostic at the next field).
+    const auto next_field = [&](const char* name) -> long long {
+      std::string token;
+      if (!(fields >> token))
+        fail(std::string("truncated line (missing ") + name +
+             "; expected '<round> <box> <video>'): '" + line + "'");
+      errno = 0;
+      char* end = nullptr;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0')
+        fail(std::string("non-numeric ") + name + " field '" + token +
+             "' in '" + line + "'");
+      if (errno == ERANGE)
+        fail(std::string(name) + " field '" + token + "' out of range in '" +
+             line + "'");
+      return value;
+    };
     TraceEntry e{};
-    if (!(fields >> e.round >> e.box >> e.video))
-      throw std::runtime_error("Trace::load: malformed line: " + line);
+    e.round = next_field("round");
+    const long long box = next_field("box");
+    const long long video = next_field("video");
+    if (box < 0 || box > std::numeric_limits<std::uint32_t>::max())
+      fail("box id " + std::to_string(box) + " out of range");
+    if (video < 0 || video > std::numeric_limits<std::uint32_t>::max())
+      fail("video id " + std::to_string(video) + " out of range");
+    e.box = static_cast<model::BoxId>(box);
+    e.video = static_cast<model::VideoId>(video);
+    if (std::string extra; fields >> extra)
+      fail("trailing garbage '" + extra + "' in '" + line + "'");
+    if (!entries.empty() && e.round < entries.back().round)
+      fail("rounds must be non-decreasing (round " +
+           std::to_string(e.round) + " after " +
+           std::to_string(entries.back().round) + ")");
     entries.push_back(e);
   }
   return Trace(std::move(entries));

@@ -33,6 +33,10 @@ class Trace {
 
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;
+  /// Parse "<round> <box> <video>" lines ('#' comments and blank lines
+  /// skipped). Malformed input — truncated lines, non-numeric or
+  /// out-of-range fields, trailing garbage, rounds out of order — throws
+  /// std::runtime_error naming the offending line number.
   [[nodiscard]] static Trace load(std::istream& in);
   [[nodiscard]] static Trace load_file(const std::string& path);
 

@@ -1,5 +1,6 @@
 // Unit tests for src/flow: Dinic max-flow, Hopcroft-Karp b-matching, the
-// connection-problem reduction, Hall checking, incremental matching.
+// connection-problem reduction, Hall checking, incremental matching, and the
+// min-cost matching engine (successive shortest paths with potentials).
 #include <gtest/gtest.h>
 
 #include "flow/bipartite.hpp"
@@ -8,6 +9,7 @@
 #include "flow/hall.hpp"
 #include "flow/hopcroft_karp.hpp"
 #include "flow/matcher.hpp"
+#include "flow/min_cost.hpp"
 #include "util/rng.hpp"
 
 namespace f = p2pvod::flow;
@@ -401,4 +403,143 @@ TEST(IncrementalMatcher, RejectsBoxCountChange) {
 TEST(EngineName, Strings) {
   EXPECT_STREQ(f::engine_name(f::Engine::kDinic), "dinic");
   EXPECT_STREQ(f::engine_name(f::Engine::kHopcroftKarp), "hopcroft-karp");
+}
+
+// ----------------------------------------------------------------- min-cost
+
+namespace {
+f::EdgeCosts random_costs(p2pvod::util::Rng& rng,
+                          const f::ConnectionProblem& problem,
+                          p2pvod::flow::Cost max_cost) {
+  f::EdgeCosts costs(problem.request_count());
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    for (std::size_t j = 0; j < problem.candidates(r).size(); ++j) {
+      costs[r].push_back(
+          static_cast<f::Cost>(rng.next_below(max_cost + 1)));
+    }
+  }
+  return costs;
+}
+
+void check_valid(const f::ConnectionProblem& problem,
+                 const f::MinCostResult& result) {
+  const auto degrees = result.match.box_degrees(problem.box_count());
+  for (std::uint32_t b = 0; b < problem.box_count(); ++b)
+    ASSERT_LE(degrees[b], problem.capacity(b));
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    if (result.match.assignment[r] < 0) continue;
+    const auto& cands = problem.candidates(r);
+    ASSERT_NE(std::find(cands.begin(), cands.end(),
+                        static_cast<std::uint32_t>(
+                            result.match.assignment[r])),
+              cands.end());
+  }
+}
+}  // namespace
+
+TEST(MinCostMatcher, PrefersCheapEdge) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.set_capacity(1, 1);
+  p.add_request({0, 1});
+  const auto result = f::MinCostMatcher::solve(p, {{5, 2}});
+  EXPECT_TRUE(result.match.complete);
+  EXPECT_EQ(result.match.assignment[0], 1);
+  EXPECT_EQ(result.total_cost, 2);
+}
+
+TEST(MinCostMatcher, MaximalityBeatsCheapness) {
+  // Serving both requests requires the expensive wiring; a maximum matching
+  // must never be traded for a cheaper partial one.
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.set_capacity(1, 1);
+  p.add_request({0, 1});
+  p.add_request({0});
+  const auto result = f::MinCostMatcher::solve(p, {{0, 100}, {0}});
+  EXPECT_TRUE(result.match.complete);
+  EXPECT_EQ(result.match.assignment[0], 1);
+  EXPECT_EQ(result.match.assignment[1], 0);
+  EXPECT_EQ(result.total_cost, 100);
+}
+
+TEST(MinCostMatcher, ZeroCostsDegradeToDinic) {
+  p2pvod::util::Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto problem = random_problem(rng, 7, 12, 2, 0.35);
+    f::EdgeCosts zero(problem.request_count());
+    for (std::uint32_t r = 0; r < problem.request_count(); ++r)
+      zero[r].assign(problem.candidates(r).size(), 0);
+    const auto mincost = f::MinCostMatcher::solve(problem, zero);
+    const auto dinic = problem.solve(f::Engine::kDinic);
+    ASSERT_EQ(mincost.match.served, dinic.served) << "trial " << trial;
+    ASSERT_EQ(mincost.match.assignment, dinic.assignment) << "trial " << trial;
+    ASSERT_EQ(mincost.total_cost, 0);
+  }
+}
+
+// Acceptance property: on randomized small instances the SSP solver agrees
+// with exhaustive enumeration on BOTH optimality criteria — matching size
+// first, total cost second.
+TEST(MinCostMatcher, AgreesWithBruteForceOnRandomInstances) {
+  p2pvod::util::Rng rng(31337);
+  for (int trial = 0; trial < 80; ++trial) {
+    auto problem = random_problem(rng, 5, 6, 2, 0.45);
+    const auto costs = random_costs(rng, problem, 7);
+    const auto fast = f::MinCostMatcher::solve(problem, costs);
+    const auto slow = f::min_cost_brute_force(problem, costs);
+    ASSERT_EQ(fast.match.served, slow.match.served) << "trial " << trial;
+    ASSERT_EQ(fast.total_cost, slow.total_cost) << "trial " << trial;
+    check_valid(problem, fast);
+  }
+}
+
+// The matching size must equal the cost-blind maximum at any cost profile:
+// costs steer, they never shrink feasibility.
+TEST(MinCostMatcher, ServedCountMatchesDinicUnderAnyCosts) {
+  p2pvod::util::Rng rng(2718);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto problem = random_problem(rng, 8, 14, 3, 0.3);
+    const auto costs = random_costs(rng, problem, 9);
+    const auto mincost = f::MinCostMatcher::solve(problem, costs);
+    const auto dinic = problem.solve(f::Engine::kDinic);
+    ASSERT_EQ(mincost.match.served, dinic.served) << "trial " << trial;
+    check_valid(problem, mincost);
+  }
+}
+
+TEST(MinCostMatcher, DeterministicAcrossRepeatSolves) {
+  p2pvod::util::Rng rng(99);
+  auto problem = random_problem(rng, 6, 10, 2, 0.4);
+  const auto costs = random_costs(rng, problem, 5);
+  const auto first = f::MinCostMatcher::solve(problem, costs);
+  const auto second = f::MinCostMatcher::solve(problem, costs);
+  EXPECT_EQ(first.match.assignment, second.match.assignment);
+  EXPECT_EQ(first.total_cost, second.total_cost);
+}
+
+TEST(MinCostMatcher, RejectsBadShapesAndNegativeCosts) {
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 1);
+  p.add_request({0});
+  EXPECT_THROW((void)f::MinCostMatcher::solve(p, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)f::MinCostMatcher::solve(p, {{1, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)f::MinCostMatcher::solve(p, {{-1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)f::min_cost_brute_force(p, {{-1}}),
+               std::invalid_argument);
+}
+
+TEST(MinCostBruteForce, RejectsHugeInstances) {
+  f::ConnectionProblem p(8);
+  for (std::uint32_t b = 0; b < 8; ++b) p.set_capacity(b, 8);
+  f::EdgeCosts costs;
+  for (int r = 0; r < 12; ++r) {
+    p.add_request({0, 1, 2, 3, 4, 5, 6, 7});
+    costs.push_back({0, 0, 0, 0, 0, 0, 0, 0});
+  }
+  EXPECT_THROW((void)f::min_cost_brute_force(p, costs),
+               std::invalid_argument);
 }

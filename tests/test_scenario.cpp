@@ -139,9 +139,9 @@ struct RunCapture final : sc::ResultSink {
 
 // --- registry ---------------------------------------------------------------
 
-TEST(ScenarioRegistry, BuiltinHoldsAllTwelveFiguresInOrder) {
+TEST(ScenarioRegistry, BuiltinHoldsAllFourteenFiguresInOrder) {
   const auto& registry = sc::ScenarioRegistry::builtin();
-  ASSERT_EQ(registry.size(), 12u);
+  ASSERT_EQ(registry.size(), 14u);
   std::vector<std::string> ids;
   std::vector<std::string> figures;
   for (const sc::Scenario* scenario : registry.list()) {
@@ -151,10 +151,11 @@ TEST(ScenarioRegistry, BuiltinHoldsAllTwelveFiguresInOrder) {
   EXPECT_EQ(ids, (std::vector<std::string>{
                      "table1", "threshold", "catalog_scaling", "replication",
                      "swarm_growth", "allocation", "hetero", "tradeoff",
-                     "startup_delay", "obstruction", "baseline", "churn"}));
+                     "startup_delay", "obstruction", "baseline", "churn",
+                     "crosszone", "zonecap"}));
   EXPECT_EQ(figures, (std::vector<std::string>{"E1", "E2", "E3", "E4", "E5",
                                                "E6", "E7", "E8", "E9", "E10",
-                                               "E11", "E13"}));
+                                               "E11", "E13", "E14", "E15"}));
 }
 
 TEST(ScenarioRegistry, FindAndAtResolveIds) {
@@ -413,4 +414,5 @@ INSTANTIATE_TEST_SUITE_P(AllFigures, ScenarioDeterminism,
                                          "catalog_scaling", "replication",
                                          "swarm_growth", "allocation",
                                          "hetero", "tradeoff", "startup_delay",
-                                         "obstruction", "baseline", "churn"));
+                                         "obstruction", "baseline", "churn",
+                                         "crosszone", "zonecap"));

@@ -58,6 +58,63 @@ TEST(Swarm, OutOfRangeThrows) {
   EXPECT_THROW((void)reg.enter(1, 0), std::out_of_range);
 }
 
+// --- growth-rule edge cases (previously only exercised through scenarios) ---
+
+TEST(Swarm, AdmissibleJoinsWithMuBelowOne) {
+  // µ < 1 is outside the paper's model (configs reject it) but the registry
+  // must still behave: ceil(max(f,1)·µ) keeps at least one admissible join
+  // into an empty swarm and shrinks — never underflows — a populated one.
+  s::SwarmRegistry reg(1);
+  reg.begin_round(0);
+  // f=0: ceil(max(0,1)*0.5) = ceil(0.5) = 1 join allowed.
+  EXPECT_EQ(reg.admissible_joins(0, 0.5), 1u);
+  reg.enter(0, 0);
+  reg.enter(0, 0);
+  reg.enter(0, 0);
+  reg.begin_round(1);
+  // f=3: limit ceil(1.5) = 2 < current size 3 — clamped at 0, no underflow.
+  EXPECT_EQ(reg.admissible_joins(0, 0.5), 0u);
+}
+
+TEST(Swarm, EmptySwarmReentryAfterFullDrain) {
+  s::SwarmRegistry reg(1);
+  reg.enter(0, 0);
+  reg.enter(0, 0);
+  reg.leave(0);
+  reg.leave(0);
+  EXPECT_EQ(reg.size(0), 0u);
+  // Re-entry after a full drain: growth restarts from the empty-swarm floor
+  // f=1, and the lifetime ticket counter keeps counting (tickets are entry
+  // numbers, not population).
+  reg.begin_round(5);
+  EXPECT_EQ(reg.admissible_joins(0, 1.3), 2u);  // ceil(1.3) = 2
+  EXPECT_EQ(reg.enter(0, 5), 2u);               // third lifetime entry
+  EXPECT_EQ(reg.size(0), 1u);
+  EXPECT_EQ(reg.total_entries(0), 3u);
+  EXPECT_EQ(reg.peak_size(), 2u);  // peak survives the drain
+}
+
+TEST(Swarm, AdmissibleJoinsClampAtCeiling) {
+  s::SwarmRegistry reg(1);
+  reg.begin_round(0);
+  reg.enter(0, 0);
+  reg.enter(0, 0);
+  reg.begin_round(1);
+  // f_start=2, µ=1.3: limit ceil(2.6) = 3, one more join admissible.
+  EXPECT_EQ(reg.admissible_joins(0, 1.3), 1u);
+  reg.enter(0, 1);
+  EXPECT_EQ(reg.admissible_joins(0, 1.3), 0u);
+  // Joins beyond the ceiling (a generator ignoring the limiter) clamp at 0
+  // instead of wrapping around.
+  reg.enter(0, 1);
+  EXPECT_EQ(reg.size(0), 4u);
+  EXPECT_EQ(reg.admissible_joins(0, 1.3), 0u);
+  // Integer-valued µ on an exact boundary: f_start=2, µ=2 -> limit 4 == size.
+  reg.begin_round(2);
+  EXPECT_EQ(reg.admissible_joins(0, 2.0), 4u);  // f_start=4: ceil(8)-4
+  EXPECT_EQ(reg.admissible_joins(0, 1.0), 0u);  // limit 4 == current size
+}
+
 // ----------------------------------------------------------------- cache
 
 TEST(Cache, EarlierJoinerServesLaterRequest) {

@@ -262,6 +262,68 @@ TEST(Trace, LoadSkipsCommentsAndRejectsGarbage) {
   EXPECT_THROW((void)w::Trace::load(bad), std::runtime_error);
 }
 
+namespace {
+std::string load_error(const std::string& text) {
+  std::stringstream in(text);
+  try {
+    (void)w::Trace::load(in);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return {};
+}
+}  // namespace
+
+TEST(Trace, LoadRejectsTruncatedLineWithLineNumber) {
+  const auto what = load_error("0 1 2\n3 4\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  EXPECT_NE(what.find("video"), std::string::npos) << what;  // missing field
+}
+
+TEST(Trace, LoadRejectsNonNumericFieldWithLineNumber) {
+  const auto what = load_error("# header\n0 1 2\nx 1 2\n");
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("non-numeric round"), std::string::npos) << what;
+}
+
+TEST(Trace, LoadRejectsNegativeAndOversizedIds) {
+  EXPECT_NE(load_error("0 -1 2\n").find("box id -1 out of range"),
+            std::string::npos);
+  EXPECT_NE(load_error("0 1 99999999999\n").find("video id"),
+            std::string::npos);
+}
+
+TEST(Trace, LoadBlamesTheOverflowingFieldItself) {
+  // A value past long long must be blamed on its own token, not on the field
+  // after it (naive istream extraction consumes the oversized number and
+  // misattributes the error to the next field).
+  const auto what = load_error("99999999999999999999999 1 2\n");
+  EXPECT_NE(what.find("round field '99999999999999999999999' out of range"),
+            std::string::npos)
+      << what;
+}
+
+TEST(Trace, LoadRejectsTrailingGarbage) {
+  const auto what = load_error("0 1 2 3\n");
+  EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("trailing garbage '3'"), std::string::npos) << what;
+}
+
+TEST(Trace, LoadRejectsUnsortedRounds) {
+  const auto what = load_error("5 0 0\n3 0 0\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("non-decreasing"), std::string::npos) << what;
+}
+
+TEST(Trace, LoadAcceptsNegativeRoundsInOrder) {
+  // Rounds may be negative (model::Round is signed; tests use them).
+  std::stringstream in("-3 0 1\n-1 2 3\n0 4 5\n");
+  const auto loaded = w::Trace::load(in);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.entries()[0].round, -3);
+}
+
 TEST(Trace, AddRejectsOutOfOrderRounds) {
   w::Trace trace;
   trace.add(5, 0, 0);
