@@ -1,14 +1,15 @@
 #include "alloc/full_replication.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace p2pvod::alloc {
 
 std::uint32_t FullReplicationAllocator::max_catalog(
     const model::CapacityProfile& profile, std::uint32_t c) {
-  if (profile.size() == 0) return 0;
-  std::uint32_t lo = static_cast<std::uint32_t>(-1);
+  if (profile.empty()) return 0;
+  std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
   for (model::BoxId b = 0; b < profile.size(); ++b) {
     lo = std::min(lo, profile.storage_slots(b, c));
   }

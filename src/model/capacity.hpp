@@ -50,6 +50,7 @@ class CapacityProfile {
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(upload_.size());
   }
+  [[nodiscard]] bool empty() const noexcept { return upload_.empty(); }
   [[nodiscard]] double upload(BoxId b) const { return upload_.at(b); }
   [[nodiscard]] double storage(BoxId b) const { return storage_.at(b); }
   [[nodiscard]] std::span<const double> uploads() const noexcept { return upload_; }

@@ -15,11 +15,15 @@ SweepResult SweepRunner::run(const ParameterGrid& grid,
       0, count,
       [&](std::size_t index) {
         GridPoint point = grid.point(index);
+        // Per-point wall time is reporting only (wall_time column, diffed
+        // under a wide tolerance); metrics and seeds never see it.
+        // p2pvod-lint: allow(wall-clock)
         const auto start = std::chrono::steady_clock::now();
         std::vector<double> metrics =
             fn(point, point_seed(options_.base_seed, index));
         const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
+            std::chrono::steady_clock::now() -  // p2pvod-lint: allow(wall-clock)
+            start;
         // set_row validates the metric count.
         result.set_row(index, std::move(point), std::move(metrics),
                        elapsed.count());

@@ -58,10 +58,15 @@ std::string format_number(double value) {
 }
 
 void dump_value(const Value& value, int indent, int depth, std::string& out) {
+  // indent < 0 means compact output; otherwise both operands are non-negative
+  // (depth counts nesting), so the size_t casts below cannot change values.
+  const std::size_t unit =
+      indent < 0 ? 0 : static_cast<std::size_t>(indent);
+  const std::size_t level = depth < 0 ? 0 : static_cast<std::size_t>(depth);
   const std::string pad =
-      indent < 0 ? std::string() : std::string(std::size_t(indent) * (depth + 1), ' ');
+      indent < 0 ? std::string() : std::string(unit * (level + 1), ' ');
   const std::string close_pad =
-      indent < 0 ? std::string() : std::string(std::size_t(indent) * depth, ' ');
+      indent < 0 ? std::string() : std::string(unit * level, ' ');
   const char* newline = indent < 0 ? "" : "\n";
   const char* colon = indent < 0 ? ":" : ": ";
   switch (value.kind()) {

@@ -1,0 +1,15 @@
+// Lint fixture: every banned randomness source in one file. Never compiled;
+// consumed by tests/test_lint.cpp through lint_file().
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // BAD twice over
+  std::random_device entropy;                        // BAD
+  return std::rand() + static_cast<int>(entropy());  // BAD
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: raw std::thread construction and detach() outside the
+// ThreadPool. Never compiled; consumed by tests/test_lint.cpp.
+#include <thread>
+
+namespace fixture {
+
+void fire_and_forget() {
+  std::thread worker([] {});  // BAD
+  worker.detach();            // BAD
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Lint fixture: explicit iterator walk over an unordered container, via a
+// `using` alias — both the alias and the begin()/end() calls must be seen.
+// Never compiled; consumed by tests/test_lint.cpp through lint_file().
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+using SeenSet = std::unordered_set<std::uint32_t>;
+
+std::uint32_t first_seen(const SeenSet& seen) {
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // BAD
+    return *it;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Lint fixture: range-for over std::unordered_map — the canonical
+// determinism break (iteration order is address-dependent). Never compiled;
+// consumed by tests/test_lint.cpp through lint_file().
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t sum_values(const std::unordered_map<std::string, int>& table) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : table) {  // BAD: order leaks into `sum`
+    sum = sum * 31 + static_cast<std::uint64_t>(value);
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Lint fixture: wall-clock reads outside the timing whitelist. Never
+// compiled; consumed by tests/test_lint.cpp through lint_file().
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t ticket() {
+  const auto now = std::chrono::steady_clock::now();  // BAD
+  const auto wall = std::chrono::system_clock::now();  // BAD
+  return static_cast<std::uint64_t>(now.time_since_epoch().count()) ^
+         static_cast<std::uint64_t>(wall.time_since_epoch().count());
+}
+
+}  // namespace fixture

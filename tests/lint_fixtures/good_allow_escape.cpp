@@ -1,0 +1,22 @@
+// Lint fixture: real violations silenced through the escape hatch, both the
+// same-line and previous-line forms, each with the rationale the contract
+// expects. Must lint clean. Never compiled; consumed by tests/test_lint.cpp.
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t suppressed(const std::unordered_map<int, int>& cache) {
+  std::uint64_t sum = 0;
+  // Order cannot escape: addition over all entries is commutative here.
+  // p2pvod-lint: allow(unordered-iteration)
+  for (const auto& [key, value] : cache) {
+    sum += static_cast<std::uint64_t>(value);
+  }
+  const auto t0 = std::chrono::steady_clock::now();  // p2pvod-lint: allow(wall-clock) — progress logging only
+  sum += static_cast<std::uint64_t>(t0.time_since_epoch().count() > 0);
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Lint fixture: a file that exercises every rule's *negative* space — the
+// constructs that look adjacent to violations but are fine. Must stay clean
+// under all rules. Never compiled; consumed by tests/test_lint.cpp.
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t ok_patterns(const std::unordered_map<int, int>& cache) {
+  // Lookups (not iteration) on unordered containers are the supported use.
+  std::uint64_t sum = cache.count(7);
+  if (const auto it = cache.find(3); it != cache.end()) {
+    sum += static_cast<std::uint64_t>(it->second);
+  }
+  // Ordered containers may be iterated freely.
+  const std::map<int, int> ordered = {{1, 2}, {3, 4}};
+  for (const auto& [key, value] : ordered) {
+    sum += static_cast<std::uint64_t>(key + value);
+  }
+  // Classic counted loops are not range-fors.
+  for (std::size_t i = 0; i < 4; ++i) sum += i;
+  // std::this_thread and thread_local are not raw std::thread usage;
+  // "rand" / "time(nullptr)" in comments and strings do not count, and
+  // identifiers merely *containing* banned names (strand, mod_time) pass.
+  std::this_thread::yield();
+  thread_local std::uint64_t strand = 0;
+  const char* note = "do not call rand() or time(nullptr) here";
+  sum += strand + static_cast<std::uint64_t>(note[0]);
+  return sum;
+}
+
+std::uint64_t mod_time(std::uint64_t t) { return t % 7; }
+std::uint64_t use_mod_time() { return mod_time(0); }
+
+}  // namespace fixture

@@ -243,6 +243,11 @@ TEST(FullReplication, StripeIndexFollowsBoxClass) {
   }
 }
 
+TEST(FullReplication, MaxCatalogOfEmptyProfileIsZero) {
+  EXPECT_EQ(
+      a::FullReplicationAllocator::max_catalog(m::CapacityProfile(), 4), 0u);
+}
+
 TEST(FullReplication, MaxCatalogBound) {
   Fixture fx;
   EXPECT_EQ(a::FullReplicationAllocator::max_catalog(fx.profile, 4), 20u);

@@ -1,0 +1,306 @@
+// Tests for the determinism linter (src/lint/linter.hpp): per-rule positive
+// and negative cases on inline sources, the fixture corpus under
+// tests/lint_fixtures/, the allow() escape hatch, path allowlists, and the
+// self-test that keeps the real tree clean — the lint gate in CI is only as
+// trustworthy as these fixtures proving each rule actually fires.
+#include "lint/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace lint = p2pvod::lint;
+
+namespace {
+
+std::vector<lint::Diagnostic> run(std::string_view source,
+                                  std::string_view path = "src/x/y.cpp") {
+  return lint::lint_source(path, source, lint::Config::repo_default());
+}
+
+bool fires(const std::vector<lint::Diagnostic>& diags, lint::Rule rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const lint::Diagnostic& d) { return d.rule == rule; });
+}
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(P2PVOD_SOURCE_DIR) / "tests" / "lint_fixtures" /
+         name;
+}
+
+// --- rule metadata ----------------------------------------------------------
+
+TEST(LintRules, NamesRoundTrip) {
+  for (const auto rule : lint::all_rules()) {
+    const auto name = lint::rule_name(rule);
+    ASSERT_FALSE(name.empty());
+    const auto parsed = lint::rule_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, rule);
+    EXPECT_FALSE(lint::rule_summary(rule).empty());
+  }
+  EXPECT_FALSE(lint::rule_from_name("no-such-rule").has_value());
+}
+
+TEST(LintRules, DiagnosticFormatIsGccStyle) {
+  const auto diags = run("int main() { return std::rand(); }");
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string text = diags[0].format();
+  EXPECT_NE(text.find("src/x/y.cpp:1: error: [banned-random]"),
+            std::string::npos)
+      << text;
+}
+
+// --- banned-random ----------------------------------------------------------
+
+TEST(LintBannedRandom, FlagsEachSource) {
+  EXPECT_TRUE(fires(run("int a = std::rand();"), lint::Rule::kBannedRandom));
+  EXPECT_TRUE(fires(run("srand(42);"), lint::Rule::kBannedRandom));
+  EXPECT_TRUE(
+      fires(run("std::random_device rd;"), lint::Rule::kBannedRandom));
+  EXPECT_TRUE(fires(run("auto s = time(nullptr);"),
+                    lint::Rule::kBannedRandom));
+  EXPECT_TRUE(fires(run("auto s = time(NULL);"), lint::Rule::kBannedRandom));
+  EXPECT_TRUE(fires(run("auto s = time(0);"), lint::Rule::kBannedRandom));
+}
+
+TEST(LintBannedRandom, IgnoresLookalikes) {
+  EXPECT_TRUE(run("int strand = 3; int x = mod_time(0);").empty());
+  EXPECT_TRUE(run("// call rand() at your peril\nint x = 0;").empty());
+  EXPECT_TRUE(run("const char* s = \"rand() time(nullptr)\";").empty());
+  // time() with a real argument is taking a time, not seeding from one.
+  EXPECT_TRUE(run("auto t = time(&slot);").empty());
+}
+
+TEST(LintBannedRandom, RngModuleIsExempt) {
+  const auto diags =
+      lint::lint_source("src/util/rng.cpp", "std::random_device rd;",
+                        lint::Config::repo_default());
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- wall-clock -------------------------------------------------------------
+
+TEST(LintWallClock, FlagsEveryClock) {
+  EXPECT_TRUE(fires(run("auto t = std::chrono::steady_clock::now();"),
+                    lint::Rule::kWallClock));
+  EXPECT_TRUE(fires(run("auto t = std::chrono::system_clock::now();"),
+                    lint::Rule::kWallClock));
+  EXPECT_TRUE(
+      fires(run("auto t = std::chrono::high_resolution_clock::now();"),
+            lint::Rule::kWallClock));
+}
+
+TEST(LintWallClock, TimingLayerAndBenchMainsAreExempt) {
+  const auto config = lint::Config::repo_default();
+  const std::string source = "auto t = std::chrono::steady_clock::now();";
+  EXPECT_TRUE(
+      lint::lint_source("src/sweep/sweep_result.cpp", source, config).empty());
+  EXPECT_TRUE(
+      lint::lint_source("src/util/thread_pool.cpp", source, config).empty());
+  EXPECT_TRUE(
+      lint::lint_source("bench/bench_perf_pool.cpp", source, config).empty());
+  EXPECT_FALSE(
+      lint::lint_source("src/sim/simulator.cpp", source, config).empty());
+}
+
+TEST(LintWallClock, DurationTypesAloneAreFine) {
+  EXPECT_TRUE(run("std::chrono::steady_clock::duration d{};").empty());
+  EXPECT_TRUE(run("using Clock = std::chrono::steady_clock;").empty());
+}
+
+// --- raw-thread -------------------------------------------------------------
+
+TEST(LintRawThread, FlagsConstructionAndDetach) {
+  EXPECT_TRUE(
+      fires(run("std::thread t([]{});"), lint::Rule::kRawThread));
+  EXPECT_TRUE(fires(run("worker.detach();"), lint::Rule::kRawThread));
+  EXPECT_TRUE(fires(run("worker->detach();"), lint::Rule::kRawThread));
+  EXPECT_TRUE(fires(run("auto n = std::thread::hardware_concurrency();"),
+                    lint::Rule::kRawThread));
+}
+
+TEST(LintRawThread, IgnoresLookalikes) {
+  EXPECT_TRUE(run("#include <thread>\nstd::this_thread::yield();").empty());
+  EXPECT_TRUE(run("thread_local int depth = 0;").empty());
+  EXPECT_TRUE(run("int detach = 3; use(detach);").empty());
+}
+
+TEST(LintRawThread, ThreadPoolIsExempt) {
+  const auto diags = lint::lint_source("src/util/thread_pool.cpp",
+                                       "std::thread t([]{}); t.detach();",
+                                       lint::Config::repo_default());
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- unordered-iteration ----------------------------------------------------
+
+TEST(LintUnorderedIteration, FlagsRangeForOverDeclaredVariable) {
+  const std::string source =
+      "std::unordered_map<int, int> table;\n"
+      "void f() { for (const auto& [k, v] : table) { use(k, v); } }\n";
+  EXPECT_TRUE(fires(run(source), lint::Rule::kUnorderedIteration));
+}
+
+TEST(LintUnorderedIteration, FlagsRangeForOverReferenceParameter) {
+  const std::string source =
+      "void f(const std::unordered_set<int>& seen) {\n"
+      "  for (int s : seen) use(s);\n"
+      "}\n";
+  EXPECT_TRUE(fires(run(source), lint::Rule::kUnorderedIteration));
+}
+
+TEST(LintUnorderedIteration, FlagsRangeForOverUsingAlias) {
+  const std::string source =
+      "using Cache = std::unordered_map<int, double>;\n"
+      "void f(const Cache& cache) {\n"
+      "  for (const auto& entry : cache) use(entry);\n"
+      "}\n";
+  EXPECT_TRUE(fires(run(source), lint::Rule::kUnorderedIteration));
+}
+
+TEST(LintUnorderedIteration, FlagsBeginIterator) {
+  const std::string source =
+      "std::unordered_map<int, int> table_;\n"
+      "auto it = table_.begin();\n";
+  EXPECT_TRUE(fires(run(source), lint::Rule::kUnorderedIteration));
+}
+
+TEST(LintUnorderedIteration, AllowsLookupsAndOrderedContainers) {
+  const std::string source =
+      "std::unordered_map<int, int> table;\n"
+      "std::map<int, int> ordered;\n"
+      "void f() {\n"
+      "  if (auto it = table.find(3); it != table.end()) use(it->second);\n"
+      "  auto n = table.count(7) + table.size();\n"
+      "  for (const auto& [k, v] : ordered) use(k, v);\n"
+      "  for (int i = 0; i < 3; ++i) use(i, i);\n"
+      "}\n";
+  EXPECT_TRUE(run(source).empty());
+}
+
+// --- escape hatch -----------------------------------------------------------
+
+TEST(LintAllow, SameLineSuppresses) {
+  const std::string source =
+      "auto t = std::chrono::steady_clock::now();"
+      "  // p2pvod-lint: allow(wall-clock) — progress logging only\n";
+  EXPECT_TRUE(run(source).empty());
+}
+
+TEST(LintAllow, PreviousLineSuppresses) {
+  const std::string source =
+      "// order is commutative here; p2pvod-lint: allow(unordered-iteration)\n"
+      "for (const auto& [k, v] : table) use(k, v);\n"
+      "std::unordered_map<int, int> table;\n";
+  EXPECT_TRUE(run(source).empty());
+}
+
+TEST(LintAllow, WrongRuleDoesNotSuppress) {
+  const std::string source =
+      "// p2pvod-lint: allow(wall-clock)\n"
+      "int x = std::rand();\n";
+  EXPECT_TRUE(fires(run(source), lint::Rule::kBannedRandom));
+}
+
+TEST(LintAllow, UnknownNameDoesNotSuppress) {
+  const std::string source =
+      "// p2pvod-lint: allow(bannedrandom)\n"
+      "int x = std::rand();\n";
+  EXPECT_TRUE(fires(run(source), lint::Rule::kBannedRandom));
+}
+
+TEST(LintAllow, ListSuppressesSeveralRules) {
+  const std::string source =
+      "// p2pvod-lint: allow(banned-random, wall-clock)\n"
+      "auto x = time(nullptr) + "
+      "std::chrono::steady_clock::now().time_since_epoch().count();\n";
+  EXPECT_TRUE(run(source).empty());
+}
+
+TEST(LintAllow, TwoLinesDownIsOutOfScope) {
+  const std::string source =
+      "// p2pvod-lint: allow(banned-random)\n"
+      "int y = 0;\n"
+      "int x = std::rand();\n";
+  EXPECT_TRUE(fires(run(source), lint::Rule::kBannedRandom));
+}
+
+// --- fixture corpus ---------------------------------------------------------
+
+struct FixtureCase {
+  const char* file;
+  lint::Rule rule;
+  std::size_t min_hits;
+};
+
+TEST(LintFixtures, BadFixturesFire) {
+  const FixtureCase cases[] = {
+      {"bad_unordered_range_for.cpp", lint::Rule::kUnorderedIteration, 1},
+      {"bad_unordered_iterator.cpp", lint::Rule::kUnorderedIteration, 1},
+      {"bad_banned_random.cpp", lint::Rule::kBannedRandom, 4},
+      {"bad_wall_clock.cpp", lint::Rule::kWallClock, 2},
+      {"bad_raw_thread.cpp", lint::Rule::kRawThread, 2},
+  };
+  for (const auto& test_case : cases) {
+    const auto diags =
+        lint::lint_file(fixture(test_case.file), lint::Config::repo_default());
+    std::size_t hits = 0;
+    for (const auto& diag : diags) {
+      EXPECT_EQ(diag.rule, test_case.rule) << diag.format();
+      EXPECT_GT(diag.line, 0u);
+      ++hits;
+    }
+    EXPECT_GE(hits, test_case.min_hits) << test_case.file;
+  }
+}
+
+TEST(LintFixtures, GoodFixturesAreClean) {
+  for (const char* file : {"good_clean.cpp", "good_allow_escape.cpp"}) {
+    const auto diags =
+        lint::lint_file(fixture(file), lint::Config::repo_default());
+    for (const auto& diag : diags) ADD_FAILURE() << diag.format();
+  }
+}
+
+TEST(LintFixtures, MissingFileThrows) {
+  EXPECT_THROW(lint::lint_file(fixture("no_such_fixture.cpp"),
+                               lint::Config::repo_default()),
+               std::runtime_error);
+}
+
+// --- whole-tree self-test ---------------------------------------------------
+
+// The gate itself: the real src/, bench/, examples/, tools/ tree lints clean
+// with the repo-default config. A violation anywhere (new code iterating an
+// unordered map, a stray random_device, ...) fails this test long before the
+// runtime baseline diff would catch the skew.
+TEST(LintSelfTest, RealTreeIsClean) {
+  const auto diags = lint::lint_tree(std::filesystem::path(P2PVOD_SOURCE_DIR),
+                                     lint::Config::repo_default());
+  for (const auto& diag : diags) ADD_FAILURE() << diag.format();
+}
+
+TEST(LintSelfTest, TreeScanIsDeterministic) {
+  const auto root = std::filesystem::path(P2PVOD_SOURCE_DIR);
+  const auto config = lint::Config::repo_default();
+  const auto first = lint::lint_dirs({root / "tests" / "lint_fixtures"},
+                                     config);
+  const auto second = lint::lint_dirs({root / "tests" / "lint_fixtures"},
+                                      config);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].format(), second[i].format());
+  }
+  // Sorted by path, so diagnostics batch stably across filesystems.
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.file < b.file ||
+                                      (a.file == b.file && a.line < b.line);
+                             }));
+}
+
+}  // namespace

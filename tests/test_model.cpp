@@ -120,6 +120,13 @@ TEST(SystemParams, MinChunkIsReciprocalC) {
 
 // ----------------------------------------------------------------- capacity
 
+TEST(Capacity, EmptyMatchesSizeZero) {
+  EXPECT_TRUE(m::CapacityProfile().empty());
+  const auto prof = m::CapacityProfile::homogeneous(3, 1.5, 4.0);
+  EXPECT_FALSE(prof.empty());
+  EXPECT_EQ(prof.size(), 3u);
+}
+
 TEST(Capacity, HomogeneousProfile) {
   const auto prof = m::CapacityProfile::homogeneous(10, 1.5, 4.0);
   EXPECT_EQ(prof.size(), 10u);

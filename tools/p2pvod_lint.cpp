@@ -1,0 +1,94 @@
+// p2pvod_lint — command-line driver for the determinism linter.
+//
+//   p2pvod_lint --root <repo>        lint the canonical tree (src/, bench/,
+//                                    examples/, tools/) under <repo>
+//   p2pvod_lint <file|dir>...        lint explicit files or directories
+//   p2pvod_lint --rules              list the rules and their rationale
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error. Output is
+// gcc-style `file:line: error: [rule] message`, so editors and CI annotate
+// it out of the box.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+int print_usage(std::ostream& out, int status) {
+  out << "usage: p2pvod_lint [--root DIR] [--rules] [path...]\n"
+         "  --root DIR  lint DIR/{src,bench,examples,tools} (default: .)\n"
+         "  --rules     describe the determinism rules and exit\n"
+         "With explicit paths, files are linted as given and directories\n"
+         "recursively. Suppress a finding with a same-line or previous-line\n"
+         "comment: // p2pvod-lint: allow(<rule>) -- plus a rationale.\n";
+  return status;
+}
+
+int print_rules() {
+  for (const auto rule : p2pvod::lint::all_rules()) {
+    std::cout << p2pvod::lint::rule_name(rule) << "\n    "
+              << p2pvod::lint::rule_summary(rule) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return print_usage(std::cout, 0);
+    if (arg == "--rules") return print_rules();
+    if (arg == "--root") {
+      if (i + 1 >= argc) return print_usage(std::cerr, 2);
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(std::strlen("--root="));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "p2pvod_lint: unknown option " << arg << "\n";
+      return print_usage(std::cerr, 2);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  const auto config = p2pvod::lint::Config::repo_default();
+  std::vector<p2pvod::lint::Diagnostic> diagnostics;
+  try {
+    if (paths.empty()) {
+      diagnostics = p2pvod::lint::lint_tree(
+          root.empty() ? std::filesystem::path(".") : root, config);
+    } else {
+      for (const auto& path : paths) {
+        std::vector<p2pvod::lint::Diagnostic> batch;
+        if (std::filesystem::is_directory(path)) {
+          batch = p2pvod::lint::lint_dirs({path}, config);
+        } else {
+          batch = p2pvod::lint::lint_file(path, config);
+        }
+        diagnostics.insert(diagnostics.end(), batch.begin(), batch.end());
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+
+  for (const auto& diagnostic : diagnostics) {
+    std::cout << diagnostic.format() << "\n";
+  }
+  if (!diagnostics.empty()) {
+    std::cerr << "p2pvod_lint: " << diagnostics.size()
+              << " determinism violation"
+              << (diagnostics.size() == 1 ? "" : "s")
+              << " (run with --rules for rationale)\n";
+    return 1;
+  }
+  return 0;
+}
