@@ -70,6 +70,10 @@ void print_usage() {
       "  --wall-factor X  wall-time budget = baseline*X + slack (default 3,\n"
       "                   0 disables the wall-time check)\n"
       "  --wall-slack X   wall-time absolute slack in seconds (default 0.25)\n"
+      "  --metrics        attach the obs metric deltas to BENCH_<id>.json\n"
+      "                   (also enabled by P2PVOD_METRICS=1)\n"
+      "  --trace DIR      record span traces; writes DIR/TRACE_<id>.json in\n"
+      "                   Chrome trace-event format (also P2PVOD_TRACE=DIR)\n"
       "  --help           this text\n";
 }
 
@@ -84,7 +88,8 @@ int main(int argc, char** argv) {
   // Flags that never take a value: a scenario id after "--no-json" must stay
   // positional instead of being swallowed as the flag's value.
   util::ArgParser args(argc, argv,
-                       {"list", "all", "no-json", "no-tables", "help"});
+                       {"list", "all", "no-json", "no-tables", "metrics",
+                        "help"});
   if (args.has("help")) {
     print_usage();
     return 0;
@@ -94,9 +99,9 @@ int main(int argc, char** argv) {
   // regression diff it was meant to run.
   static const std::vector<std::string> kKnownOptions = {
       "all",       "atol",     "baseline", "csv-dir",    "help",
-      "json-dir",  "list",     "no-json",  "no-tables",  "rtol",
-      "scale",     "seed",     "threads",  "wall-factor", "wall-slack",
-      "zones"};
+      "json-dir",  "list",     "metrics",  "no-json",    "no-tables",
+      "rtol",      "scale",    "seed",     "threads",    "trace",
+      "wall-factor", "wall-slack", "zones"};
   for (const std::string& name : args.option_names()) {
     if (std::find(kKnownOptions.begin(), kKnownOptions.end(), name) ==
         kKnownOptions.end()) {
@@ -193,6 +198,12 @@ int main(int argc, char** argv) {
 
   scenario::BaselineOptions tolerance;
   scenario::RunOptions run_options;
+  // Environment knobs first, command-line flags second so flags win.
+  scenario::apply_obs_env(run_options);
+  if (args.get_bool("metrics", false)) run_options.collect_metrics = true;
+  if (const auto trace_dir = args.get("trace"); trace_dir.has_value()) {
+    run_options.trace_dir = *trace_dir;
+  }
   try {
     tolerance.rtol = args.get_double("rtol", tolerance.rtol);
     tolerance.atol = args.get_double("atol", tolerance.atol);

@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace p2pvod::flow {
+
+namespace {
+
+// kStable: sequential algorithm, deterministic per instance.
+obs::Counter& solves_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/dinic_solves");
+  return counter;
+}
+obs::Counter& phases_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/dinic_phases");
+  return counter;
+}
+
+}  // namespace
 
 bool Dinic::build_levels(NodeId source, NodeId sink) {
   level_.assign(network_.node_count(), -1);
@@ -49,8 +68,11 @@ Capacity Dinic::augment(NodeId v, NodeId sink, Capacity limit) {
 }
 
 Capacity Dinic::max_flow(NodeId source, NodeId sink) {
+  OBS_SPAN("flow/dinic");
+  solves_counter().add();
   Capacity total = 0;
   while (build_levels(source, sink)) {
+    phases_counter().add();
     next_arc_.assign(network_.node_count(), 0);
     total += augment(source, sink, kInfCapacity);
   }

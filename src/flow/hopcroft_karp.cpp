@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace p2pvod::flow {
+
+namespace {
+
+// kStable: sequential algorithm, deterministic per instance.
+obs::Counter& solves_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/hk_solves");
+  return counter;
+}
+obs::Counter& phases_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/hk_phases");
+  return counter;
+}
+obs::Counter& augmentations_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/hk_augmentations");
+  return counter;
+}
+
+}  // namespace
 
 HopcroftKarp::HopcroftKarp(
     const std::vector<std::vector<std::uint32_t>>& adjacency,
@@ -73,12 +97,20 @@ bool HopcroftKarp::dfs_augment(std::uint32_t request) {
 }
 
 std::uint32_t HopcroftKarp::solve() {
+  OBS_SPAN("flow/hopcroft_karp");
+  solves_counter().add();
   std::uint32_t matched = 0;
+  std::uint32_t augmented = 0;
   while (bfs_layers()) {
+    phases_counter().add();
     for (std::uint32_t r = 0; r < adjacency_.size(); ++r) {
-      if (match_left_[r] < 0 && dfs_augment(r)) ++matched;
+      if (match_left_[r] < 0 && dfs_augment(r)) {
+        ++matched;
+        ++augmented;
+      }
     }
   }
+  augmentations_counter().add(augmented);
   return matched;
 }
 

@@ -7,12 +7,38 @@
 #include <utility>
 
 #include "flow/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace p2pvod::flow {
 
 namespace {
 
 constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+// Solver work counters. All kStable: the algorithm is sequential and
+// deterministic per instance, and the multiset of instances solved is
+// thread-count-invariant under the repo's seeding contract.
+obs::Counter& solves_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/min_cost_solves");
+  return counter;
+}
+obs::Counter& augmentations_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/min_cost_augmentations");
+  return counter;
+}
+obs::Counter& potential_updates_counter() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "flow/min_cost_potential_updates");
+  return counter;
+}
+obs::Histogram& path_length_histogram() {
+  static obs::Histogram& histogram = obs::MetricsRegistry::global().histogram(
+      "flow/min_cost_path_length", obs::pow2_bounds(8));
+  return histogram;
+}
 
 void validate(const ConnectionProblem& problem, const EdgeCosts& costs) {
   if (costs.size() != problem.request_count())
@@ -42,6 +68,8 @@ bool all_zero(const EdgeCosts& costs) {
 
 MinCostResult MinCostMatcher::solve(const ConnectionProblem& problem,
                                     const EdgeCosts& costs) {
+  OBS_SPAN("flow/min_cost");
+  solves_counter().add();
   validate(problem, costs);
 
   // All-zero costs: every maximum matching is min-cost, so the plain Dinic
@@ -116,19 +144,28 @@ MinCostResult MinCostMatcher::solve(const ConnectionProblem& problem,
       }
     }
     if (dist[sink] >= kInfCost) break;  // no augmenting path left
+    augmentations_counter().add();
 
+    std::uint64_t updated = 0;
     for (NodeId v = 0; v < nodes; ++v) {
-      if (dist[v] < kInfCost) potential[v] += dist[v];
+      if (dist[v] < kInfCost) {
+        potential[v] += dist[v];
+        ++updated;
+      }
     }
+    potential_updates_counter().add(updated);
 
     // Bottleneck is 1 (every path crosses a unit request->sink edge), but
     // compute it anyway so the loop stays correct if the reduction changes.
     Capacity bottleneck = kInfCapacity;
+    std::uint64_t path_edges = 0;
     for (NodeId v = sink; v != source;) {
       const EdgeId e = parent_edge[v];
       bottleneck = std::min(bottleneck, network.residual(e));
       v = network.edge_to(e ^ 1u);
+      ++path_edges;
     }
+    path_length_histogram().observe(path_edges);
     for (NodeId v = sink; v != source;) {
       const EdgeId e = parent_edge[v];
       network.push(e, bottleneck);

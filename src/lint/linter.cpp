@@ -489,12 +489,12 @@ Config Config::repo_default() {
   Config config;
   // Randomness: only the seed-plumbing layer itself.
   config.banned_random_allowed = {"src/util/rng."};
-  // Wall clock: the timing layer that *reports* elapsed time (never feeds it
-  // back into simulation state) and the bench harness mains, whose stdout is
-  // never baseline-diffed. Everything else uses an inline allow() with a
-  // per-site rationale.
-  config.wall_clock_allowed = {"src/util/thread_pool.",
-                               "src/sweep/sweep_result.", "bench/"};
+  // Wall clock: ONLY the obs clock TU. Every timing read in the tree goes
+  // through obs::monotonic_ns()/obs::WallTimer, so this single entry is the
+  // complete accounting of where wall time can enter the process. Other
+  // files — including the rest of src/obs/ — must use obs::clock or an
+  // inline allow() with a per-site rationale.
+  config.wall_clock_allowed = {"src/obs/clock."};
   // Threads: only the work-stealing executor may construct them.
   config.raw_thread_allowed = {"src/util/thread_pool."};
   return config;

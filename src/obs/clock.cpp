@@ -1,0 +1,16 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace p2pvod::obs {
+
+std::uint64_t monotonic_ns() noexcept {
+  // The one legal clock read (lint wall-clock allowlist: src/obs/clock.*).
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+}  // namespace p2pvod::obs

@@ -1,0 +1,36 @@
+// The repo's single wall-clock entry point.
+//
+// The determinism linter bans raw std::chrono clock reads everywhere except
+// this TU (see lint::Config::repo_default): every timestamp in the codebase —
+// per-point sweep timing, per-stage scenario timing, trace-event spans —
+// flows through monotonic_ns(), so "where can wall time leak from?" has
+// exactly one answer. Wall time is for *reporting only*; nothing here may
+// feed simulation state, seeds, or metric values tagged Stability::kStable.
+#pragma once
+
+#include <cstdint>
+
+namespace p2pvod::obs {
+
+/// Monotonic nanoseconds since an arbitrary (per-process) epoch. The only
+/// function in the repo allowed to read a clock.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// Stopwatch over monotonic_ns(); replaces ad-hoc steady_clock arithmetic at
+/// the timing call sites (sweep points, scenario stages).
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(monotonic_ns()) {}
+
+  /// Seconds elapsed since construction (or the last reset()).
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(monotonic_ns() - start_) * 1e-9;
+  }
+
+  void reset() noexcept { start_ = monotonic_ns(); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace p2pvod::obs

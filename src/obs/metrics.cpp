@@ -1,0 +1,244 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2pvod::obs {
+
+namespace {
+
+std::atomic<std::size_t> g_next_shard{0};
+
+}  // namespace
+
+std::string_view stability_name(Stability stability) {
+  switch (stability) {
+    case Stability::kStable:
+      return "stable";
+    case Stability::kScheduling:
+      return "scheduling";
+    case Stability::kWallClock:
+      return "wall-clock";
+  }
+  return "unknown";
+}
+
+std::size_t metric_shard_index() noexcept {
+  thread_local const std::size_t index =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+Histogram::Histogram(std::string name, Stability stability,
+                     std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), name_(std::move(name)),
+      stability_(stability) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: empty bucket bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+  }
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < counts.size(); ++b)
+      counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+      total += shard.buckets[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_)
+    total += shard.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Deliberately leaked: handles held in function-local statics all over the
+  // library must stay valid until the last thread exits.
+  static auto* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Stability stability) {
+  const std::lock_guard lock(mutex_);
+  std::string key(name);
+  if (gauges_.count(key) != 0 || histograms_.count(key) != 0)
+    throw std::logic_error("MetricsRegistry: '" + key +
+                           "' already registered as another kind");
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(key, std::unique_ptr<Counter>(
+                               new Counter(key, stability)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Stability stability) {
+  const std::lock_guard lock(mutex_);
+  std::string key(name);
+  if (counters_.count(key) != 0 || histograms_.count(key) != 0)
+    throw std::logic_error("MetricsRegistry: '" + key +
+                           "' already registered as another kind");
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(key, std::unique_ptr<Gauge>(new Gauge(key, stability)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::uint64_t> bounds,
+                                      Stability stability) {
+  const std::lock_guard lock(mutex_);
+  std::string key(name);
+  if (counters_.count(key) != 0 || gauges_.count(key) != 0)
+    throw std::logic_error("MetricsRegistry: '" + key +
+                           "' already registered as another kind");
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(key, std::unique_ptr<Histogram>(new Histogram(
+                               key, stability, std::move(bounds))))
+             .first;
+  } else if (it->second->bounds() != bounds) {
+    throw std::logic_error("MetricsRegistry: '" + key +
+                           "' re-registered with different bucket bounds");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    MetricValue value;
+    value.kind = MetricValue::Kind::kCounter;
+    value.stability = counter->stability();
+    value.count = counter->value();
+    out.values.emplace(name, std::move(value));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue value;
+    value.kind = MetricValue::Kind::kGauge;
+    value.stability = gauge->stability();
+    value.gauge = gauge->value();
+    out.values.emplace(name, std::move(value));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue value;
+    value.kind = MetricValue::Kind::kHistogram;
+    value.stability = histogram->stability();
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    value.bounds = histogram->bounds();
+    value.buckets = histogram->bucket_counts();
+    out.values.emplace(name, std::move(value));
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : values) {
+    MetricValue delta = value;
+    const auto it = earlier.values.find(name);
+    if (it != earlier.values.end() && it->second.kind == value.kind) {
+      const MetricValue& before = it->second;
+      switch (value.kind) {
+        case MetricValue::Kind::kCounter:
+          delta.count = value.count - before.count;
+          break;
+        case MetricValue::Kind::kGauge:
+          break;  // instantaneous: keep the current reading
+        case MetricValue::Kind::kHistogram:
+          delta.count = value.count - before.count;
+          delta.sum = value.sum - before.sum;
+          for (std::size_t b = 0;
+               b < delta.buckets.size() && b < before.buckets.size(); ++b)
+            delta.buckets[b] -= before.buckets[b];
+          break;
+      }
+    }
+    out.values.emplace(name, std::move(delta));
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::with_stability(Stability stability) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : values) {
+    if (value.stability == stability) out.values.emplace(name, value);
+  }
+  return out;
+}
+
+util::json::Value MetricsSnapshot::to_json() const {
+  using util::json::Value;
+  Value doc{Value::Object{}};
+  for (const auto& [name, value] : values) {
+    Value entry{Value::Object{}};
+    entry.set("stability", std::string(stability_name(value.stability)));
+    switch (value.kind) {
+      case MetricValue::Kind::kCounter:
+        entry.set("kind", "counter");
+        entry.set("value", value.count);
+        break;
+      case MetricValue::Kind::kGauge:
+        entry.set("kind", "gauge");
+        entry.set("value", value.gauge);
+        break;
+      case MetricValue::Kind::kHistogram: {
+        entry.set("kind", "histogram");
+        entry.set("count", value.count);
+        entry.set("sum", value.sum);
+        Value::Array bounds;
+        for (const std::uint64_t bound : value.bounds)
+          bounds.emplace_back(bound);
+        entry.set("bounds", std::move(bounds));
+        Value::Array buckets;
+        for (const std::uint64_t bucket : value.buckets)
+          buckets.emplace_back(bucket);
+        entry.set("buckets", std::move(buckets));
+        break;
+      }
+    }
+    doc.set(name, std::move(entry));
+  }
+  return doc;
+}
+
+std::vector<std::uint64_t> pow2_bounds(std::uint32_t max_pow2) {
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(max_pow2 + 1);
+  for (std::uint32_t p = 0; p <= max_pow2; ++p)
+    bounds.push_back(std::uint64_t{1} << p);
+  return bounds;
+}
+
+}  // namespace p2pvod::obs

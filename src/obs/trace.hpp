@@ -1,0 +1,165 @@
+// Span/instant tracing with Chrome trace-event JSON output.
+//
+// A TraceSession is a process-wide recording window. While one is active,
+// OBS_SPAN("module/name") records a RAII "complete" event ('X': begin + dur)
+// into a per-thread ring buffer, and OBS_INSTANT records a point event ('i').
+// stop_to_file() merges the rings, sorts by timestamp, and writes the
+// Chrome/Perfetto trace-event format — load the file at ui.perfetto.dev or
+// chrome://tracing.
+//
+// Cost model: with no active session the macros reduce to one relaxed atomic
+// load and a branch (and can be compiled out entirely with
+// -DP2PVOD_OBS_NO_TRACE). While recording, events land in a fixed-capacity
+// per-thread ring that overwrites its oldest entries — the tail of a run is
+// what you usually need — and drops are counted in the scheduling-tagged
+// "obs/trace_dropped_events" metric, so truncation is visible rather than
+// silent.
+//
+// Timestamps come from obs::monotonic_ns() (the single allowlisted clock TU);
+// traces are wall-clock artifacts and are never baseline-diffed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace p2pvod::obs {
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';         ///< 'X' complete, 'i' instant
+  std::uint64_t ts_ns = 0;  ///< monotonic_ns at span begin / instant
+  std::uint64_t dur_ns = 0; ///< span duration ('X' only)
+  std::uint32_t tid = 0;    ///< small per-thread id (registration order)
+};
+
+/// Process-wide trace recording control. At most one session is active at a
+/// time; start() while active is a no-op (the scenario runner opens one
+/// session per scenario).
+class TraceSession {
+ public:
+  struct Options {
+    /// Events retained per thread; older events are overwritten.
+    std::size_t ring_capacity = 1 << 14;
+  };
+
+  /// Begin recording. Clears buffers left over from earlier sessions.
+  static void start() { start(Options{}); }
+  static void start(Options options);
+
+  /// True while a session is recording (one relaxed load).
+  static bool active() noexcept;
+
+  /// Stop recording and return all retained events merged across threads,
+  /// sorted by (ts_ns, tid). No-op empty result when no session was active.
+  static std::vector<TraceEvent> stop();
+
+  /// Stop recording and write the Chrome trace-event JSON document to
+  /// `path`, creating parent directories as needed. Throws
+  /// std::runtime_error on I/O failure.
+  static void stop_to_file(const std::string& path);
+
+  /// Events dropped (ring overwrites) during the current/last session.
+  [[nodiscard]] static std::uint64_t dropped_events() noexcept;
+
+  /// Serialize events as a Chrome trace-event JSON string; ts values are
+  /// microseconds relative to the earliest event.
+  [[nodiscard]] static std::string to_chrome_json(
+      const std::vector<TraceEvent>& events);
+};
+
+namespace detail {
+/// Record sites used by the guard classes; no-ops when no session is active.
+void record_complete(const char* name, std::uint64_t start_ns,
+                     std::uint64_t dur_ns);
+void record_complete(std::string name, std::uint64_t start_ns,
+                     std::uint64_t dur_ns);
+void record_instant(const char* name);
+}  // namespace detail
+
+/// RAII span with a static-lifetime name (string literal at the call site).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) noexcept {
+    if (TraceSession::active()) {
+      name_ = name;
+      start_ = monotonic_ns();
+    }
+  }
+  ~SpanGuard() {
+    if (name_ != nullptr)
+      detail::record_complete(name_, start_, monotonic_ns() - start_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+/// RAII span whose name is built at runtime (stage names); the string is
+/// only constructed when a session is active.
+class DynamicSpanGuard {
+ public:
+  template <typename NameFn>
+  explicit DynamicSpanGuard(const NameFn& make_name) {
+    if (TraceSession::active()) {
+      name_ = make_name();
+      active_ = true;
+      start_ = monotonic_ns();
+    }
+  }
+  ~DynamicSpanGuard() {
+    if (active_)
+      detail::record_complete(std::move(name_), start_,
+                              monotonic_ns() - start_);
+  }
+  DynamicSpanGuard(const DynamicSpanGuard&) = delete;
+  DynamicSpanGuard& operator=(const DynamicSpanGuard&) = delete;
+
+ private:
+  std::string name_;
+  bool active_ = false;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace p2pvod::obs
+
+#define P2PVOD_OBS_CONCAT_IMPL(a, b) a##b
+#define P2PVOD_OBS_CONCAT(a, b) P2PVOD_OBS_CONCAT_IMPL(a, b)
+
+#ifdef P2PVOD_OBS_NO_TRACE
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (false)
+#define OBS_SPAN_DYN(make_name) \
+  do {                          \
+  } while (false)
+#define OBS_INSTANT(name) \
+  do {                    \
+  } while (false)
+#else
+/// Span covering the enclosing scope; `name` must be a string literal (or
+/// other static-lifetime C string), by convention "module/what".
+#define OBS_SPAN(name)                                 \
+  const ::p2pvod::obs::SpanGuard P2PVOD_OBS_CONCAT(    \
+      obs_span_, __LINE__) {                           \
+    name                                               \
+  }
+/// Span with a lazily built name: OBS_SPAN_DYN([&] { return "x/" + id; }).
+#define OBS_SPAN_DYN(make_name)                            \
+  const ::p2pvod::obs::DynamicSpanGuard P2PVOD_OBS_CONCAT( \
+      obs_span_, __LINE__) {                               \
+    make_name                                              \
+  }
+/// Point-in-time marker.
+#define OBS_INSTANT(name)                                        \
+  do {                                                           \
+    if (::p2pvod::obs::TraceSession::active())                   \
+      ::p2pvod::obs::detail::record_instant(name);               \
+  } while (false)
+#endif

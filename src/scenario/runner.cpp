@@ -1,14 +1,42 @@
 #include "scenario/runner.hpp"
 
-#include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <optional>
 #include <utility>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/registry.hpp"
 
 namespace p2pvod::scenario {
+
+namespace {
+
+/// Stops a trace session abandoned by an exception unwinding through
+/// run_scenario, so a failed scenario doesn't leave recording enabled for
+/// the rest of the process.
+struct TraceAbortGuard {
+  bool armed = false;
+  ~TraceAbortGuard() {
+    if (armed && obs::TraceSession::active()) (void)obs::TraceSession::stop();
+  }
+};
+
+}  // namespace
+
+void apply_obs_env(RunOptions& options) {
+  if (const char* metrics = std::getenv("P2PVOD_METRICS");
+      metrics != nullptr && std::string(metrics) != "0") {
+    options.collect_metrics = true;
+  }
+  if (const char* trace = std::getenv("P2PVOD_TRACE");
+      trace != nullptr && *trace != '\0') {
+    options.trace_dir = trace;
+  }
+}
 
 double run_scenario(const Scenario& scenario,
                     const std::vector<ResultSink*>& sinks,
@@ -16,34 +44,55 @@ double run_scenario(const Scenario& scenario,
   Emitter emitter(scenario, sinks);
   emitter.banner();
 
+  const bool tracing = !options.trace_dir.empty();
+  TraceAbortGuard trace_guard;
+  if (tracing) {
+    obs::TraceSession::start();
+    trace_guard.armed = true;
+  }
+  std::optional<obs::MetricsSnapshot> metrics_before;
+  if (options.collect_metrics)
+    metrics_before = obs::MetricsRegistry::global().snapshot();
+
   // Stage/scenario wall times land in the wall_time report fields, which the
   // baseline differ compares only under a wide tolerance — they never feed
   // back into metrics or seeds.
-  // p2pvod-lint: allow(wall-clock)
-  const auto start = std::chrono::steady_clock::now();
+  const obs::WallTimer timer;
   Plan plan = scenario.plan();
 
   ScenarioRun run;
   run.stages.reserve(plan.stages.size());
   const sweep::SweepRunner runner(options.sweep);
   for (Stage& stage : plan.stages) {
-    // p2pvod-lint: allow(wall-clock)
-    const auto stage_start = std::chrono::steady_clock::now();
+    OBS_SPAN_DYN([&] { return "scenario/" + scenario.id + ":" + stage.name; });
+    const obs::WallTimer stage_timer;
     sweep::SweepResult result =
         runner.run(stage.grid, stage.metrics, stage.evaluate);
-    const std::chrono::duration<double> stage_elapsed =
-        std::chrono::steady_clock::now() -  // p2pvod-lint: allow(wall-clock)
-        stage_start;
     run.stages.push_back(
-        {stage.name, std::move(result), stage_elapsed.count()});
+        {stage.name, std::move(result), stage_timer.seconds()});
   }
   if (plan.render) plan.render(run, emitter);
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() -  // p2pvod-lint: allow(wall-clock)
-      start;
 
-  emitter.complete(run, elapsed.count());
-  return elapsed.count();
+  if (options.collect_metrics) {
+    run.metrics =
+        obs::MetricsRegistry::global().snapshot().delta_since(*metrics_before);
+  }
+  const double elapsed = timer.seconds();
+  if (tracing) {
+    trace_guard.armed = false;
+    const std::string path =
+        options.trace_dir + "/TRACE_" + scenario.id + ".json";
+    try {
+      obs::TraceSession::stop_to_file(path);
+      emitter.text("[trace] " + path + "\n");
+    } catch (const std::exception& error) {
+      // Trace output is diagnostics, not results: report and carry on.
+      std::cerr << "[trace] failed: " << error.what() << "\n";
+    }
+  }
+
+  emitter.complete(run, elapsed);
+  return elapsed;
 }
 
 int run_figure_main(const std::string& id) {
@@ -56,7 +105,9 @@ int run_figure_main(const std::string& id) {
       csv_sink.emplace(dir);
       sinks.push_back(&*csv_sink);
     }
-    run_scenario(scenario, sinks);
+    RunOptions options;
+    apply_obs_env(options);
+    run_scenario(scenario, sinks, options);
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";

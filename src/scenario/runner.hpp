@@ -16,7 +16,19 @@ struct RunOptions {
   /// seeds (every paper figure does, to reproduce published data) ignore the
   /// base seed.
   sweep::SweepOptions sweep;
+  /// Snapshot the obs::MetricsRegistry around the run and attach the delta
+  /// to ScenarioRun::metrics (and thence BENCH_<id>.json).
+  bool collect_metrics = false;
+  /// When non-empty, record a TraceSession for the run and write
+  /// <trace_dir>/TRACE_<id>.json in Chrome trace-event format.
+  std::string trace_dir;
 };
+
+/// Apply the observability environment knobs to `options`: P2PVOD_METRICS
+/// (set and != "0" enables collect_metrics) and P2PVOD_TRACE (a directory
+/// path; enables tracing into it). Command-line flags should be applied
+/// after this so they win over the environment.
+void apply_obs_env(RunOptions& options);
 
 /// Run one scenario: banner event, plan(), each stage on the SweepRunner,
 /// render, completion event. Returns the wall time in seconds (covering

@@ -15,9 +15,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sweep/parameter_grid.hpp"
 #include "sweep/sweep_result.hpp"
 #include "sweep/sweep_runner.hpp"
@@ -48,6 +50,13 @@ struct StageResult {
 
 struct ScenarioRun {
   std::vector<StageResult> stages;
+
+  /// Per-run metric deltas (present when RunOptions::collect_metrics is on):
+  /// process-wide counters/histograms snapshotted before and after the run,
+  /// differenced so concurrent/global activity before the run is excluded.
+  /// Exported as the "metrics" block of BENCH_<id>.json, which the baseline
+  /// differ ignores.
+  std::optional<obs::MetricsSnapshot> metrics;
 
   /// Stage result by declaration index; throws std::out_of_range.
   [[nodiscard]] const sweep::SweepResult& stage(std::size_t index) const {

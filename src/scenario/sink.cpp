@@ -83,6 +83,9 @@ util::json::Value run_to_json(const Scenario& scenario, const ScenarioRun& run,
     stages.push_back(std::move(entry));
   }
   doc.set("stages", std::move(stages));
+  // Informational: the baseline differ compares only the keys it knows, so
+  // this extra top-level block never breaks an old baseline.
+  if (run.metrics.has_value()) doc.set("metrics", run.metrics->to_json());
   return doc;
 }
 

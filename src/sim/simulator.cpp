@@ -4,9 +4,53 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/demand.hpp"
 
 namespace p2pvod::sim {
+
+namespace {
+
+// Round-loop work counters, aggregated across every Simulator instance in
+// the process. kStable: each trial is sequential and fully determined by its
+// seed, and the multiset of trials evaluated is thread-count-invariant under
+// the repo's seeding contract. (Exception: speculative calibration evaluates
+// a thread-count-dependent probe set — see the Observability notes in the
+// README; pin P2PVOD_PROBE_WIDTH=1 to compare across thread counts there.)
+struct SimCounters {
+  obs::Counter& rounds;
+  obs::Counter& demands_admitted;
+  obs::Counter& demands_rejected;
+  obs::Counter& chunks_matched;
+  obs::Counter& chunks_unmatched;
+  obs::Counter& matcher_edges;
+  obs::Counter& intra_zone_chunks;
+  obs::Counter& cross_zone_chunks;
+  obs::Counter& link_cap_rejections;
+  obs::Counter& link_cap_rescues;
+  obs::Histogram& round_active_requests;
+};
+
+SimCounters& sim_counters() {
+  auto& registry = obs::MetricsRegistry::global();
+  static auto* counters = new SimCounters{
+      registry.counter("sim/rounds"),
+      registry.counter("sim/demands_admitted"),
+      registry.counter("sim/demands_rejected"),
+      registry.counter("sim/chunks_matched"),
+      registry.counter("sim/chunks_unmatched"),
+      registry.counter("sim/matcher_edges"),
+      registry.counter("sim/intra_zone_chunks"),
+      registry.counter("sim/cross_zone_chunks"),
+      registry.counter("sim/link_cap_rejections"),
+      registry.counter("sim/link_cap_rescues"),
+      registry.histogram("sim/round_active_requests", obs::pow2_bounds(16)),
+  };
+  return *counters;
+}
+
+}  // namespace
 
 // solve_zone_aware feeds net::Cost values into flow::EdgeCosts; the aliases
 // live in layers that don't include each other, so pin their agreement here.
@@ -70,6 +114,7 @@ void Simulator::admit(const Demand& demand) {
     throw std::out_of_range("Simulator: demand from unknown box");
   if (!online_[demand.box] || !box_idle(demand.box)) {
     ++report_.demands_rejected;
+    sim_counters().demands_rejected.add();
     return;
   }
   ++report_.demands_admitted;
@@ -102,10 +147,13 @@ void Simulator::admit(const Demand& demand) {
       swarms_.leave(demand.video);  // roll back the enter() above
       --report_.demands_admitted;
       ++report_.demands_rejected;
+      sim_counters().demands_rejected.add();
       return;
     }
     ++network_requests;
   }
+  // Global counter only after the rollback window: counters are monotonic.
+  sim_counters().demands_admitted.add();
 
   const auto session_id = static_cast<SessionId>(sessions_.size());
   sessions_.push_back({demand.box, demand.video, now_, playback_start, ends,
@@ -143,42 +191,52 @@ void Simulator::activate_pending() {
 
 void Simulator::solve_round() {
   if (live_.empty()) return;
+  OBS_SPAN("sim/solve_round");
 
   flow::ConnectionProblem problem(profile_.size());
   problem.set_capacities(capacity_slots_);
-  for (const ActiveRequest& request : live_) {
-    scratch_candidates_.clear();
-    for (const model::BoxId holder : allocation_.holders(request.stripe)) {
-      if (holder != request.requester && online_[holder])
-        scratch_candidates_.push_back(holder);
+  {
+    OBS_SPAN("sim/build_candidates");
+    for (const ActiveRequest& request : live_) {
+      scratch_candidates_.clear();
+      for (const model::BoxId holder : allocation_.holders(request.stripe)) {
+        if (holder != request.requester && online_[holder])
+          scratch_candidates_.push_back(holder);
+      }
+      cache_.collect_servers(request.stripe, request.issue, now_,
+                             request.requester, scratch_candidates_);
+      std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
+      scratch_candidates_.erase(
+          std::unique(scratch_candidates_.begin(), scratch_candidates_.end()),
+          scratch_candidates_.end());
+      problem.add_request(scratch_candidates_);
     }
-    cache_.collect_servers(request.stripe, request.issue, now_,
-                           request.requester, scratch_candidates_);
-    std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
-    scratch_candidates_.erase(
-        std::unique(scratch_candidates_.begin(), scratch_candidates_.end()),
-        scratch_candidates_.end());
-    problem.add_request(scratch_candidates_);
   }
   report_.matcher_edges += problem.edge_count();
+  sim_counters().matcher_edges.add(problem.edge_count());
 
   flow::MatchResult result;
-  if (options_.topology != nullptr) {
-    result = solve_zone_aware(problem);
-  } else if (options_.incremental) {
-    result = matcher_.solve(problem, carry_);
-    if (options_.verify_incremental) {
-      const flow::MatchResult reference = problem.solve(options_.engine);
-      if (reference.served != result.served)
-        throw std::logic_error(
-            "Simulator: incremental matcher disagrees with reference solve");
+  {
+    OBS_SPAN("sim/match");
+    if (options_.topology != nullptr) {
+      result = solve_zone_aware(problem);
+    } else if (options_.incremental) {
+      result = matcher_.solve(problem, carry_);
+      if (options_.verify_incremental) {
+        const flow::MatchResult reference = problem.solve(options_.engine);
+        if (reference.served != result.served)
+          throw std::logic_error(
+              "Simulator: incremental matcher disagrees with reference solve");
+      }
+    } else {
+      result = problem.solve(options_.engine);
     }
-  } else {
-    result = problem.solve(options_.engine);
   }
 
   report_.chunks_served += result.served;
+  sim_counters().chunks_matched.add(result.served);
   const std::uint64_t unserved = live_.size() - result.served;
+  sim_counters().chunks_unmatched.add(unserved);
   if (unserved > 0) {
     report_.chunks_stalled += unserved;
     if (report_.first_stall < 0) {
@@ -240,6 +298,8 @@ flow::MatchResult Simulator::solve_zone_aware(
   }
   report_.intra_zone_chunks += intra;
   report_.cross_zone_chunks += cross;
+  sim_counters().intra_zone_chunks.add(intra);
+  sim_counters().cross_zone_chunks.add(cross);
   if (intra + cross > 0) {
     report_.cross_zone_fraction.add(static_cast<double>(cross) /
                                     static_cast<double>(intra + cross));
@@ -277,6 +337,7 @@ void Simulator::enforce_link_caps(const flow::ConnectionProblem& problem,
       result.assignment[r] = -1;
       --result.served;
       ++report_.link_cap_rejections;
+      sim_counters().link_cap_rejections.add();
       rejected.push_back(r);
     } else {
       --left;
@@ -307,6 +368,7 @@ void Simulator::enforce_link_caps(const flow::ConnectionProblem& problem,
       if (best < 0) continue;
       result.assignment[r] = best;
       ++result.served;
+      sim_counters().link_cap_rescues.add();
       ++degree[static_cast<std::uint32_t>(best)];
       std::uint32_t& left =
           budget[pair_of(static_cast<model::BoxId>(best), live_[r].requester)];
@@ -430,6 +492,8 @@ void Simulator::step(const std::vector<Demand>& demands) {
 
   // 6. Connection matching for this round.
   report_.active_requests.add(static_cast<double>(live_.size()));
+  sim_counters().rounds.add();
+  sim_counters().round_active_requests.observe(live_.size());
   solve_round();
 
   // 7. Retire requests whose final chunk was delivered.

@@ -1,9 +1,23 @@
 #include "sweep/sweep_runner.hpp"
 
-#include <chrono>
 #include <utility>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace p2pvod::sweep {
+
+namespace {
+
+// kStable: the grid fully determines how many points are evaluated.
+obs::Counter& points_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("sweep/points");
+  return counter;
+}
+
+}  // namespace
 
 SweepResult SweepRunner::run(const ParameterGrid& grid,
                              std::vector<std::string> metric_names,
@@ -14,19 +28,17 @@ SweepResult SweepRunner::run(const ParameterGrid& grid,
   util::parallel_for(
       0, count,
       [&](std::size_t index) {
+        OBS_SPAN("sweep/point");
+        points_counter().add();
         GridPoint point = grid.point(index);
         // Per-point wall time is reporting only (wall_time column, diffed
         // under a wide tolerance); metrics and seeds never see it.
-        // p2pvod-lint: allow(wall-clock)
-        const auto start = std::chrono::steady_clock::now();
+        const obs::WallTimer timer;
         std::vector<double> metrics =
             fn(point, point_seed(options_.base_seed, index));
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() -  // p2pvod-lint: allow(wall-clock)
-            start;
         // set_row validates the metric count.
         result.set_row(index, std::move(point), std::move(metrics),
-                       elapsed.count());
+                       timer.seconds());
       },
       options_.pool);
 

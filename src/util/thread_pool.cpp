@@ -5,11 +5,38 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 
 namespace p2pvod::util {
 
 namespace {
+
+// Process-wide mirrors of the per-pool counters, so pool activity shows up
+// in the BENCH metrics block without threading pool handles around. Tagged
+// kScheduling: steal/help counts depend on thread count and timing by
+// nature. Handles resolve once (leaked registry keeps them valid through
+// static destruction, which matters here — global() pool workers run late).
+obs::Counter& obs_submitted() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "pool/submitted", obs::Stability::kScheduling);
+  return counter;
+}
+obs::Counter& obs_executed_local() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "pool/executed_local", obs::Stability::kScheduling);
+  return counter;
+}
+obs::Counter& obs_executed_stolen() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "pool/executed_stolen", obs::Stability::kScheduling);
+  return counter;
+}
+obs::Counter& obs_helping_runs() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "pool/helping_runs", obs::Stability::kScheduling);
+  return counter;
+}
 
 // Which pool (if any) owns the current thread, and the worker's own queue
 // index within it; set once per worker thread.
@@ -64,6 +91,8 @@ std::future<void> ThreadPool::submit(std::function<void()> task,
           ? t_worker_index
           : next_queue_.fetch_add(1, std::memory_order_relaxed) %
                 queues_.size();
+  stat_submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs_submitted().add();
   push(target, std::move(packaged), priority);
   return future;
 }
@@ -103,6 +132,8 @@ bool ThreadPool::pop_local(std::size_t self, Task& out) {
       out = std::move(level.back());
       level.pop_back();
       pending_.fetch_sub(1);
+      stat_executed_local_.fetch_add(1, std::memory_order_relaxed);
+      obs_executed_local().add();
       return true;
     }
   }
@@ -126,6 +157,8 @@ bool ThreadPool::steal(std::size_t self, Task& out) {
         out = std::move(tasks.front());
         tasks.pop_front();
         pending_.fetch_sub(1);
+        stat_executed_stolen_.fetch_add(1, std::memory_order_relaxed);
+        obs_executed_stolen().add();
         return true;
       }
     }
@@ -150,6 +183,9 @@ bool ThreadPool::try_run_one() {
   const std::size_t self = mine ? t_worker_index : queues_.size();
   const bool got = (mine && pop_local(self, task)) || steal(self, task);
   if (!got) return false;
+  stat_helping_runs_.fetch_add(1, std::memory_order_relaxed);
+  obs_helping_runs().add();
+  if (mine) queues_[self]->executed.fetch_add(1, std::memory_order_relaxed);
   task();
   return true;
 }
@@ -173,6 +209,19 @@ void ThreadPool::wait(std::future<void>& future) {
   }
 }
 
+PoolStats ThreadPool::stats() const {
+  PoolStats out;
+  out.submitted = stat_submitted_.load(std::memory_order_relaxed);
+  out.executed_local = stat_executed_local_.load(std::memory_order_relaxed);
+  out.executed_stolen = stat_executed_stolen_.load(std::memory_order_relaxed);
+  out.helping_runs = stat_helping_runs_.load(std::memory_order_relaxed);
+  out.per_worker_executed.reserve(queues_.size());
+  for (const auto& queue : queues_)
+    out.per_worker_executed.push_back(
+        queue->executed.load(std::memory_order_relaxed));
+  return out;
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
     // Cap far above any sane machine: a garbage value (or strtol
@@ -191,6 +240,7 @@ void ThreadPool::worker_loop(std::size_t self) {
   Task task;
   for (;;) {
     if (pop_local(self, task) || steal(self, task)) {
+      queues_[self]->executed.fetch_add(1, std::memory_order_relaxed);
       task();
       task = Task{};
       continue;

@@ -43,6 +43,28 @@ enum class TaskPriority : std::uint8_t {
 
 inline constexpr std::size_t kTaskPriorityCount = 3;
 
+/// Cumulative scheduling counters for one pool instance. Every task leaves a
+/// queue through exactly one of pop_local (own deque) or steal (another
+/// deque), so after all submitted futures complete,
+/// submitted == executed_local + executed_stolen — the exactly-once
+/// accounting the concurrency tests assert. helping_runs counts the subset
+/// executed through try_run_one()/wait() (a waiter pitching in), and
+/// per_worker_executed[i] counts tasks that ran on worker thread i. All of
+/// these depend on scheduling, so the mirrored obs metrics ("pool/...") are
+/// tagged Stability::kScheduling and excluded from cross-thread-count
+/// determinism checks.
+struct PoolStats {
+  std::uint64_t submitted = 0;        ///< tasks accepted by submit()
+  std::uint64_t executed_local = 0;   ///< dequeued LIFO by the owning worker
+  std::uint64_t executed_stolen = 0;  ///< dequeued FIFO from another deque
+  std::uint64_t helping_runs = 0;     ///< ran via try_run_one()/wait()
+  std::vector<std::uint64_t> per_worker_executed;  ///< ran on worker i
+
+  [[nodiscard]] std::uint64_t executed() const noexcept {
+    return executed_local + executed_stolen;
+  }
+};
+
 class ThreadPool {
  public:
   /// threads == 0 selects hardware_concurrency (at least 1).
@@ -95,6 +117,11 @@ class ThreadPool {
   /// hardware_concurrency.
   static ThreadPool& global();
 
+  /// Snapshot of this pool's cumulative scheduling counters. Consistent (the
+  /// exactly-once identity holds) once all submitted futures have completed;
+  /// a mid-flight read may see a task submitted but not yet executed.
+  [[nodiscard]] PoolStats stats() const;
+
  private:
   using Task = std::packaged_task<void()>;
 
@@ -103,6 +130,9 @@ class ThreadPool {
   struct WorkerQueue {
     std::mutex mutex;
     std::array<std::deque<Task>, kTaskPriorityCount> tasks;
+    /// Tasks executed BY this queue's owning worker thread (wherever they
+    /// were dequeued from), for PoolStats::per_worker_executed.
+    std::atomic<std::uint64_t> executed{0};
   };
 
   void worker_loop(std::size_t self);
@@ -125,6 +155,13 @@ class ThreadPool {
   /// lossless.
   std::atomic<std::size_t> sleepers_{0};
   std::atomic<std::size_t> next_queue_{0};  ///< round-robin external target
+  /// PoolStats sources (relaxed; read via stats()). Dequeue-site counters —
+  /// every task is counted at the pop_local/steal that removes it, exactly
+  /// once, regardless of which thread then runs it.
+  std::atomic<std::uint64_t> stat_submitted_{0};
+  std::atomic<std::uint64_t> stat_executed_local_{0};
+  std::atomic<std::uint64_t> stat_executed_stolen_{0};
+  std::atomic<std::uint64_t> stat_helping_runs_{0};
   std::atomic<bool> stopping_{false};
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;

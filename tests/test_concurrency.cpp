@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -322,6 +323,72 @@ TEST(Concurrency, CurrentPoolIdentifiesOwningPoolOnly) {
   });
   in_a.get();
   EXPECT_EQ(u::ThreadPool::current(), nullptr);
+}
+
+TEST(Concurrency, PoolStatsCountEveryTaskExactlyOnce) {
+  // The accounting identity: every task leaves a queue through exactly one of
+  // pop-local or steal, so after a full drain submitted == executed_local +
+  // executed_stolen, with the local/stolen split free to vary run to run.
+  u::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 2000;
+  std::atomic<std::size_t> runs{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&runs] { runs.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(runs.load(), kTasks);
+
+  const u::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, kTasks);
+  EXPECT_EQ(stats.executed_local + stats.executed_stolen, kTasks);
+  EXPECT_EQ(stats.executed(), kTasks);
+  // No try_run_one()/wait() in this test: nothing ran via helping.
+  EXPECT_EQ(stats.helping_runs, 0u);
+  ASSERT_EQ(stats.per_worker_executed.size(), pool.size());
+  std::uint64_t on_workers = 0;
+  for (const std::uint64_t executed : stats.per_worker_executed) {
+    on_workers += executed;
+  }
+  // Every execution happened on a worker thread (the main thread only
+  // blocked on futures).
+  EXPECT_EQ(on_workers, kTasks);
+}
+
+TEST(Concurrency, PoolStatsAttributeHelpingRunsToTheIdentity) {
+  // Block both workers, drain the backlog from the main thread: helping runs
+  // are counted separately but the dequeued tasks still land in the
+  // local/stolen split, so the exactly-once identity keeps holding.
+  u::ThreadPool pool(2);
+  Gate gate;
+  auto blocker_a = submit_started_blocker(pool, gate);
+  auto blocker_b = submit_started_blocker(pool, gate);
+  constexpr std::size_t kTasks = 64;
+  std::atomic<std::size_t> runs{0};
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&runs] { runs.fetch_add(1); }));
+  }
+  while (runs.load() < kTasks) {
+    if (!pool.try_run_one()) std::this_thread::yield();
+  }
+  gate.release();
+  blocker_a.get();
+  blocker_b.get();
+  for (auto& future : futures) future.get();
+
+  const u::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, kTasks + 2);
+  EXPECT_EQ(stats.executed(), kTasks + 2);
+  // Workers were gated, so the main thread ran the entire backlog.
+  EXPECT_EQ(stats.helping_runs, kTasks);
+  std::uint64_t on_workers = 0;
+  for (const std::uint64_t executed : stats.per_worker_executed) {
+    on_workers += executed;
+  }
+  // Only the two blockers actually ran on worker threads.
+  EXPECT_EQ(on_workers, 2u);
 }
 
 TEST(Concurrency, ParallelForUnderContentionIsExactlyOnce) {

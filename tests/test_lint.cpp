@@ -94,14 +94,26 @@ TEST(LintWallClock, FlagsEveryClock) {
             lint::Rule::kWallClock));
 }
 
-TEST(LintWallClock, TimingLayerAndBenchMainsAreExempt) {
+TEST(LintWallClock, OnlyTheObsClockTuIsExempt) {
   const auto config = lint::Config::repo_default();
   const std::string source = "auto t = std::chrono::steady_clock::now();";
+  // The single allowlisted entry point for wall time.
   EXPECT_TRUE(
+      lint::lint_source("src/obs/clock.cpp", source, config).empty());
+  EXPECT_TRUE(
+      lint::lint_source("src/obs/clock.hpp", source, config).empty());
+  // Everything else is flagged — including the REST of src/obs/ (trace and
+  // metrics must go through obs::monotonic_ns, not read clocks directly) and
+  // the layers the allowlist used to cover before the obs migration.
+  EXPECT_FALSE(
+      lint::lint_source("src/obs/trace.cpp", source, config).empty());
+  EXPECT_FALSE(
+      lint::lint_source("src/obs/metrics.cpp", source, config).empty());
+  EXPECT_FALSE(
       lint::lint_source("src/sweep/sweep_result.cpp", source, config).empty());
-  EXPECT_TRUE(
+  EXPECT_FALSE(
       lint::lint_source("src/util/thread_pool.cpp", source, config).empty());
-  EXPECT_TRUE(
+  EXPECT_FALSE(
       lint::lint_source("bench/bench_perf_pool.cpp", source, config).empty());
   EXPECT_FALSE(
       lint::lint_source("src/sim/simulator.cpp", source, config).empty());

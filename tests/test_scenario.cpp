@@ -358,6 +358,101 @@ TEST(BaselineDiff, PerPointAndPerStageTimingNeverTriggersRegressions) {
   EXPECT_TRUE(sc::diff_against_baseline(current, stripped, strict).empty());
 }
 
+namespace {
+
+/// Copy of `value` with an extra member appended to every row object —
+/// simulates a future bench adding per-point columns old baselines lack.
+u::json::Value add_extra_row_keys(const u::json::Value& value) {
+  if (value.is_object()) {
+    u::json::Value out{u::json::Value::Object{}};
+    for (const auto& [key, member] : value.as_object()) {
+      out.set(key, add_extra_row_keys(member));
+    }
+    if (value.find("values") != nullptr && value.find("metrics") != nullptr) {
+      out.set("debug_cost", 1.25);
+    }
+    return out;
+  }
+  if (value.is_array()) {
+    u::json::Value::Array out;
+    for (const auto& entry : value.as_array()) {
+      out.push_back(add_extra_row_keys(entry));
+    }
+    return u::json::Value{std::move(out)};
+  }
+  return value;
+}
+
+/// Copy of `value` without its top-level "metrics" member — the shape of a
+/// baseline recorded before the observability block existed.
+u::json::Value drop_metrics_block(const u::json::Value& value) {
+  u::json::Value out{u::json::Value::Object{}};
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "metrics") continue;
+    out.set(key, member);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(BaselineDiff, MetricsBlockAndExtraRowKeysDiffCleanAgainstOldBaselines) {
+  // A run recorded with --metrics gains a top-level "metrics" block (and a
+  // future bench may add per-point keys); both must be invisible to the
+  // baseline diff so old baselines keep validating new runs.
+  sc::CaptureSink capture;
+  sc::RunOptions options;
+  options.collect_metrics = true;
+  sc::run_scenario(synthetic_scenario(), {&capture}, options);
+  const u::json::Value current = *capture.document();
+  ASSERT_NE(current.find("metrics"), nullptr);
+  ASSERT_TRUE(current.at("metrics").is_object());
+  EXPECT_FALSE(current.at("metrics").as_object().empty());
+
+  const u::json::Value inflated = add_extra_row_keys(current);
+  const u::json::Value old_baseline = drop_metrics_block(current);
+  ASSERT_EQ(old_baseline.find("metrics"), nullptr);
+
+  sc::BaselineOptions strict;
+  strict.rtol = 0.0;
+  strict.atol = 0.0;
+  strict.wall_factor = 0.0;
+  EXPECT_TRUE(
+      sc::diff_against_baseline(inflated, old_baseline, strict).empty());
+  // And symmetrically: a metrics-bearing baseline validates a plain run.
+  EXPECT_TRUE(
+      sc::diff_against_baseline(old_baseline, inflated, strict).empty());
+}
+
+TEST(ScenarioRunner, CollectMetricsAttachesSnapshotToRunAndJson) {
+  RunCapture capture;
+  sc::RunOptions options;
+  options.collect_metrics = true;
+  sc::run_scenario(synthetic_scenario(), {&capture}, options);
+  ASSERT_TRUE(capture.run.has_value());
+  ASSERT_TRUE(capture.run->metrics.has_value());
+  // The delta covers this run: the sweep executed 3 grid points.
+  const auto& values = capture.run->metrics->values;
+  ASSERT_EQ(values.count("sweep/points"), 1u);
+  EXPECT_EQ(values.at("sweep/points").count, 3u);
+
+  const auto document = sc::run_to_json(synthetic_scenario(), *capture.run, 1.0);
+  ASSERT_NE(document.find("metrics"), nullptr);
+  const auto* entry = document.at("metrics").find("sweep/points");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->at("kind").as_string(), "counter");
+  EXPECT_EQ(entry->at("stability").as_string(), "stable");
+  EXPECT_DOUBLE_EQ(entry->at("value").as_number(), 3.0);
+
+  // Without the flag the run and its JSON stay metrics-free.
+  RunCapture plain;
+  sc::run_scenario(synthetic_scenario(), {&plain});
+  ASSERT_TRUE(plain.run.has_value());
+  EXPECT_FALSE(plain.run->metrics.has_value());
+  const auto plain_doc = sc::run_to_json(synthetic_scenario(), *plain.run, 1.0);
+  EXPECT_EQ(plain_doc.find("metrics"), nullptr);
+}
+
 TEST(BaselineDiff, StructuralChangesFail) {
   const auto current = capture_json(synthetic_scenario());
 

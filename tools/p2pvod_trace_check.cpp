@@ -1,0 +1,136 @@
+// p2pvod_trace_check — validate observability artifacts.
+//
+//   p2pvod_trace_check TRACE_x.json [TRACE_y.json ...]
+//   p2pvod_trace_check --bench BENCH_x.json [BENCH_y.json ...]
+//
+// Default mode checks Chrome trace-event files: the document must be an
+// object with a "traceEvents" array whose entries each carry name/ph/ts/
+// pid/tid (and dur for complete 'X' events). --bench mode checks BENCH
+// result documents for a non-empty top-level "metrics" object whose entries
+// each carry kind/stability. Exit 0 when every file passes, 1 otherwise —
+// CI's obs smoke step runs this after a traced scenario run so a formatting
+// regression fails the build rather than producing files Perfetto rejects.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using p2pvod::util::json::Value;
+
+int check_trace(const std::string& path, const Value& doc) {
+  int errors = 0;
+  const auto fail = [&](const std::string& message) {
+    std::cerr << path << ": " << message << "\n";
+    ++errors;
+  };
+  if (!doc.is_object()) {
+    fail("document is not a JSON object");
+    return errors;
+  }
+  const Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    fail("missing \"traceEvents\" array");
+    return errors;
+  }
+  std::size_t index = 0;
+  for (const Value& event : events->as_array()) {
+    const std::string where = "traceEvents[" + std::to_string(index++) + "]";
+    if (!event.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      if (event.find(key) == nullptr) fail(where + " missing \"" + key + "\"");
+    }
+    const Value* name = event.find("name");
+    if (name != nullptr && !name->is_string())
+      fail(where + " \"name\" is not a string");
+    const Value* phase = event.find("ph");
+    if (phase != nullptr) {
+      if (!phase->is_string() || phase->as_string().size() != 1) {
+        fail(where + " \"ph\" is not a one-character string");
+      } else if (phase->as_string() == "X" && event.find("dur") == nullptr) {
+        fail(where + " complete event missing \"dur\"");
+      }
+    }
+    for (const char* key : {"ts", "pid", "tid"}) {
+      const Value* field = event.find(key);
+      if (field != nullptr && !field->is_number())
+        fail(where + " \"" + key + "\" is not a number");
+    }
+  }
+  return errors;
+}
+
+int check_bench_metrics(const std::string& path, const Value& doc) {
+  int errors = 0;
+  const auto fail = [&](const std::string& message) {
+    std::cerr << path << ": " << message << "\n";
+    ++errors;
+  };
+  const Value* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    fail("missing top-level \"metrics\" object (run with --metrics?)");
+    return errors;
+  }
+  if (metrics->as_object().empty()) {
+    fail("\"metrics\" object is empty");
+    return errors;
+  }
+  for (const auto& [name, entry] : metrics->as_object()) {
+    if (!entry.is_object()) {
+      fail("metric \"" + name + "\" is not an object");
+      continue;
+    }
+    for (const char* key : {"kind", "stability"}) {
+      if (entry.find(key) == nullptr)
+        fail("metric \"" + name + "\" missing \"" + key + "\"");
+    }
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool bench_mode = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench") {
+      bench_mode = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: p2pvod_trace_check [--bench] <file.json>...\n"
+                   "  default: validate Chrome trace-event documents\n"
+                   "  --bench: validate the metrics block of BENCH results\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "p2pvod_trace_check: no input files (see --help)\n";
+    return 2;
+  }
+
+  int errors = 0;
+  for (const std::string& path : files) {
+    try {
+      const Value doc = p2pvod::util::json::parse_file(path);
+      errors += bench_mode ? check_bench_metrics(path, doc)
+                           : check_trace(path, doc);
+    } catch (const std::exception& error) {
+      std::cerr << path << ": " << error.what() << "\n";
+      ++errors;
+    }
+  }
+  if (errors > 0) {
+    std::cerr << "p2pvod_trace_check: " << errors << " error(s)\n";
+    return 1;
+  }
+  std::cout << "p2pvod_trace_check: " << files.size() << " file(s) OK\n";
+  return 0;
+}
