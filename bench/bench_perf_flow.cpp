@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include "flow/bipartite.hpp"
+#include "flow/csr_matcher.hpp"
+#include "flow/csr_problem.hpp"
 #include "flow/matcher.hpp"
 #include "util/rng.hpp"
 
@@ -80,6 +82,93 @@ void BM_IncrementalRepair(benchmark::State& state) {
                           problem.request_count());
 }
 BENCHMARK(BM_IncrementalRepair)->Arg(64)->Arg(256)->Arg(1024);
+
+// --- sparse CSR path (E16) --------------------------------------------------
+
+/// CSR mirror of make_problem's instance (same candidate sets).
+flow::CsrProblem make_csr(const flow::ConnectionProblem& problem) {
+  flow::CsrProblem csr;
+  if (problem.request_count() > 0) csr.ensure_row(problem.request_count() - 1);
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    for (const std::uint32_t b : problem.candidates(r)) csr.add_source(r, b);
+  }
+  return csr;
+}
+
+// Surgical row patches — the per-grant / per-expiry cost the sparse round
+// loop pays instead of a full candidate reconstruction.
+void BM_CsrPointPatch(benchmark::State& state) {
+  const auto boxes = static_cast<std::uint32_t>(state.range(0));
+  const auto problem = make_problem(boxes, boxes * 4, 6, 8, 42);
+  auto csr = make_csr(problem);
+  util::Rng rng(0xC5);
+  std::uint64_t patches = 0;
+  for (auto _ : state) {
+    const auto row =
+        static_cast<std::uint32_t>(rng.next_below(problem.request_count()));
+    const auto box = static_cast<std::uint32_t>(rng.next_below(boxes));
+    csr.add_source(row, box);
+    benchmark::DoNotOptimize(csr.remove_source(row, box));
+    patches += 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(patches));
+}
+BENCHMARK(BM_CsrPointPatch)->Arg(256)->Arg(4096);
+
+// Dirty-row rebuild (assign_row from a collected sorted run) — the fallback
+// cost when a row's ground truth changed wholesale.
+void BM_CsrRowRebuild(benchmark::State& state) {
+  const auto boxes = static_cast<std::uint32_t>(state.range(0));
+  const auto problem = make_problem(boxes, boxes * 4, 6, 8, 42);
+  auto csr = make_csr(problem);
+  std::vector<std::uint32_t> row_boxes;
+  std::vector<std::uint32_t> counts;
+  std::uint32_t next = 0;
+  for (auto _ : state) {
+    const std::uint32_t r = next++ % problem.request_count();
+    row_boxes.assign(problem.candidates(r).begin(),
+                     problem.candidates(r).end());
+    counts.assign(row_boxes.size(), 1);
+    csr.assign_row(r, row_boxes, counts);
+    benchmark::DoNotOptimize(csr.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CsrRowRebuild)->Arg(256)->Arg(4096);
+
+// Matching repair with 10% of rows dirtied — CsrMatcher re-augments only the
+// dirty rows, where IncrementalMatcher (BM_IncrementalRepair above) re-walks
+// the whole carry vector each round.
+void BM_CsrMatcherRepair(benchmark::State& state) {
+  const auto boxes = static_cast<std::uint32_t>(state.range(0));
+  const auto problem = make_problem(boxes, boxes * 4, 6, 8, 42);
+  const auto csr = make_csr(problem);
+  const std::vector<std::uint32_t>& cap = problem.capacities();
+  flow::CsrMatcher matcher(boxes);
+  matcher.ensure_rows(problem.request_count());
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    (void)matcher.augment(csr, cap, r);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::uint32_t> dirty;
+    for (std::uint32_t r = 0; r < problem.request_count(); r += 10) {
+      if (matcher.assignment(r) >= 0) {
+        matcher.unassign(r);
+        dirty.push_back(r);
+      }
+    }
+    state.ResumeTiming();
+    std::uint32_t repaired = 0;
+    for (const std::uint32_t r : dirty) {
+      if (matcher.augment(csr, cap, r)) ++repaired;
+    }
+    benchmark::DoNotOptimize(repaired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          problem.request_count() / 10);
+}
+BENCHMARK(BM_CsrMatcherRepair)->Arg(64)->Arg(256)->Arg(1024);
 
 // Witness extraction on an infeasible instance (used on every stall).
 void BM_InfeasibilityWitness(benchmark::State& state) {

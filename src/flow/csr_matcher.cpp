@@ -1,0 +1,107 @@
+#include "flow/csr_matcher.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace p2pvod::flow {
+
+CsrMatcher::CsrMatcher(std::uint32_t box_count)
+    : degree_(box_count, 0),
+      served_by_(box_count),
+      visit_mark_(box_count, 0) {}
+
+void CsrMatcher::ensure_rows(std::uint32_t rows) {
+  if (rows > assignment_.size()) assignment_.resize(rows, -1);
+}
+
+void CsrMatcher::unassign(std::uint32_t row) {
+  const std::int32_t assigned = assignment_.at(row);
+  if (assigned < 0) return;
+  assignment_[row] = -1;
+  const auto box = static_cast<std::uint32_t>(assigned);
+  auto& servings = served_by_[box];
+  servings.erase(std::find(servings.begin(), servings.end(), row));
+  --degree_[box];
+}
+
+void CsrMatcher::unassign_box(std::uint32_t box,
+                              std::vector<std::uint32_t>& out) {
+  auto& servings = served_by_.at(box);
+  for (const std::uint32_t row : servings) {
+    assignment_[row] = -1;
+    out.push_back(row);
+  }
+  servings.clear();
+  degree_[box] = 0;
+}
+
+void CsrMatcher::next_epoch() {
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0u);
+    epoch_ = 0;
+  }
+  ++epoch_;
+}
+
+bool CsrMatcher::augment(const CsrProblem& csr,
+                         std::span<const std::uint32_t> capacity,
+                         std::uint32_t row) {
+  next_epoch();
+  stack_.clear();
+  stack_.push_back({row, 0, 0, false});
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    const auto candidates = csr.row(f.row);
+    if (!f.in_box) {
+      bool descended = false;
+      while (f.ci < candidates.size()) {
+        const std::uint32_t box = candidates[f.ci];
+        if (visit_mark_[box] == epoch_) {
+          ++f.ci;
+          continue;
+        }
+        visit_mark_[box] = epoch_;
+        if (degree_[box] < capacity[box]) {
+          // Free slot found: commit the whole alternating path. The tail
+          // row takes the free slot; every ancestor overwrites the serving
+          // its child vacated (served_by_ positions stay put, so no vector
+          // churn along the path).
+          assignment_[f.row] = static_cast<std::int32_t>(box);
+          served_by_[box].push_back(f.row);
+          ++degree_[box];
+          for (std::size_t i = stack_.size() - 1; i-- > 0;) {
+            const Frame& parent = stack_[i];
+            const std::uint32_t parent_box = csr.row(parent.row)[parent.ci];
+            served_by_[parent_box][parent.si] = parent.row;
+            assignment_[parent.row] = static_cast<std::int32_t>(parent_box);
+          }
+          return true;
+        }
+        // Box saturated: try to displace one of the rows it serves.
+        f.in_box = true;
+        f.si = 0;
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        stack_.pop_back();
+        if (!stack_.empty()) ++stack_.back().si;
+        continue;
+      }
+    }
+    const std::uint32_t box = candidates[f.ci];
+    const auto& servings = served_by_[box];
+    if (f.si >= servings.size()) {
+      f.in_box = false;
+      f.si = 0;
+      ++f.ci;
+      continue;
+    }
+    // Descend: can servings[f.si] be rerouted elsewhere? (Push invalidates
+    // `f`; the loop re-derives the reference next iteration.)
+    stack_.push_back({servings[f.si], 0, 0, false});
+  }
+  return false;
+}
+
+}  // namespace p2pvod::flow

@@ -1,0 +1,153 @@
+#include "flow/csr_problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pvod::flow {
+
+namespace {
+
+/// Extra slots granted on relocation so a growing row amortizes its moves.
+std::uint32_t slack_for(std::uint32_t size) {
+  return std::max<std::uint32_t>(2, size / 2);
+}
+
+}  // namespace
+
+void CsrProblem::ensure_row(std::uint32_t row) {
+  if (row >= rows_.size()) rows_.resize(static_cast<std::size_t>(row) + 1);
+}
+
+void CsrProblem::clear_row(std::uint32_t row) {
+  RowRef& ref = rows_.at(row);
+  edges_ -= ref.size;
+  abandoned_ += ref.capacity;
+  ref = RowRef{};
+  maybe_compact();
+}
+
+void CsrProblem::assign_row(std::uint32_t row,
+                            std::span<const std::uint32_t> boxes,
+                            std::span<const std::uint32_t> counts) {
+  if (boxes.size() != counts.size())
+    throw std::invalid_argument("CsrProblem::assign_row: length mismatch");
+  RowRef& ref = rows_.at(row);
+  const auto size = static_cast<std::uint32_t>(boxes.size());
+  if (size > ref.capacity) relocate(row, size + slack_for(size));
+  RowRef& placed = rows_[row];  // relocate may have moved the span
+  std::copy(boxes.begin(), boxes.end(), boxes_.begin() + placed.offset);
+  std::copy(counts.begin(), counts.end(), counts_.begin() + placed.offset);
+  edges_ += size;
+  edges_ -= placed.size;
+  placed.size = size;
+  maybe_compact();
+}
+
+void CsrProblem::add_source(std::uint32_t row, std::uint32_t box) {
+  RowRef& ref = rows_.at(row);
+  const std::uint32_t pos = lower_bound_in(ref, box);
+  if (pos < ref.size && boxes_[ref.offset + pos] == box) {
+    ++counts_[ref.offset + pos];
+    return;
+  }
+  if (ref.size == ref.capacity) relocate(row, ref.size + slack_for(ref.size));
+  RowRef& placed = rows_[row];
+  const std::size_t at = static_cast<std::size_t>(placed.offset) + pos;
+  std::copy_backward(boxes_.begin() + at,
+                     boxes_.begin() + placed.offset + placed.size,
+                     boxes_.begin() + placed.offset + placed.size + 1);
+  std::copy_backward(counts_.begin() + at,
+                     counts_.begin() + placed.offset + placed.size,
+                     counts_.begin() + placed.offset + placed.size + 1);
+  boxes_[at] = box;
+  counts_[at] = 1;
+  ++placed.size;
+  ++edges_;
+  maybe_compact();
+}
+
+bool CsrProblem::remove_source(std::uint32_t row, std::uint32_t box) {
+  RowRef& ref = rows_.at(row);
+  const std::uint32_t pos = lower_bound_in(ref, box);
+  if (pos >= ref.size || boxes_[ref.offset + pos] != box) return false;
+  const std::size_t at = static_cast<std::size_t>(ref.offset) + pos;
+  if (--counts_[at] > 0) return false;
+  std::copy(boxes_.begin() + at + 1, boxes_.begin() + ref.offset + ref.size,
+            boxes_.begin() + at);
+  std::copy(counts_.begin() + at + 1, counts_.begin() + ref.offset + ref.size,
+            counts_.begin() + at);
+  --ref.size;
+  --edges_;
+  return true;
+}
+
+void CsrProblem::remove_box(std::uint32_t row, std::uint32_t box) {
+  RowRef& ref = rows_.at(row);
+  const std::uint32_t pos = lower_bound_in(ref, box);
+  if (pos >= ref.size || boxes_[ref.offset + pos] != box) return;
+  const std::size_t at = static_cast<std::size_t>(ref.offset) + pos;
+  std::copy(boxes_.begin() + at + 1, boxes_.begin() + ref.offset + ref.size,
+            boxes_.begin() + at);
+  std::copy(counts_.begin() + at + 1, counts_.begin() + ref.offset + ref.size,
+            counts_.begin() + at);
+  --ref.size;
+  --edges_;
+}
+
+bool CsrProblem::contains(std::uint32_t row, std::uint32_t box) const {
+  const RowRef& ref = rows_.at(row);
+  const std::uint32_t pos = lower_bound_in(ref, box);
+  return pos < ref.size && boxes_[ref.offset + pos] == box;
+}
+
+std::span<const std::uint32_t> CsrProblem::row(std::uint32_t r) const {
+  const RowRef& ref = rows_.at(r);
+  return {boxes_.data() + ref.offset, ref.size};
+}
+
+// Does NOT compact: callers finish their edit (the row's size field may be
+// mid-update) and trigger maybe_compact() themselves once consistent.
+void CsrProblem::relocate(std::uint32_t row, std::uint32_t capacity) {
+  RowRef& ref = rows_[row];
+  const auto offset = static_cast<std::uint32_t>(boxes_.size());
+  boxes_.resize(boxes_.size() + capacity);
+  counts_.resize(counts_.size() + capacity);
+  std::copy_n(boxes_.begin() + ref.offset, ref.size, boxes_.begin() + offset);
+  std::copy_n(counts_.begin() + ref.offset, ref.size,
+              counts_.begin() + offset);
+  abandoned_ += ref.capacity;
+  ref.offset = offset;
+  ref.capacity = capacity;
+}
+
+void CsrProblem::maybe_compact() {
+  if (boxes_.size() < 4096 || abandoned_ * 2 < boxes_.size()) return;
+  std::vector<std::uint32_t> boxes;
+  std::vector<std::uint32_t> counts;
+  boxes.reserve(boxes_.size() - abandoned_);
+  counts.reserve(counts_.size() - abandoned_);
+  for (RowRef& ref : rows_) {
+    const auto offset = static_cast<std::uint32_t>(boxes.size());
+    // Shrink back to a small pad; relocation slack regrows where needed.
+    const std::uint32_t capacity = ref.size + std::min(slack_for(ref.size), 4u);
+    boxes.resize(boxes.size() + capacity);
+    counts.resize(counts.size() + capacity);
+    std::copy_n(boxes_.begin() + ref.offset, ref.size, boxes.begin() + offset);
+    std::copy_n(counts_.begin() + ref.offset, ref.size,
+                counts.begin() + offset);
+    ref.offset = offset;
+    ref.capacity = capacity;
+  }
+  boxes_ = std::move(boxes);
+  counts_ = std::move(counts);
+  abandoned_ = 0;
+}
+
+std::uint32_t CsrProblem::lower_bound_in(const RowRef& ref,
+                                         std::uint32_t box) const {
+  const auto begin = boxes_.begin() + ref.offset;
+  const auto it = std::lower_bound(begin, begin + ref.size, box);
+  return static_cast<std::uint32_t>(it - begin);
+}
+
+}  // namespace p2pvod::flow

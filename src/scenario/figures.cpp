@@ -17,6 +17,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(make_churn_scenario());
   registry.add(make_crosszone_scenario());
   registry.add(make_zonecap_scenario());
+  registry.add(make_scaleladder_scenario());
 }
 
 }  // namespace p2pvod::scenario

@@ -26,8 +26,9 @@ Scenario make_baseline_scenario();        // E11 — full replication baseline
 Scenario make_churn_scenario();           // E13 — churn tolerance (extension)
 Scenario make_crosszone_scenario();       // E14 — cross-zone traffic vs u
 Scenario make_zonecap_scenario();         // E15 — threshold under link caps
+Scenario make_scaleladder_scenario();     // E16 — million-box sparse ladder
 
-/// Register all 14 builtin scenarios in figure order. Throws (via add) if
+/// Register all 15 builtin scenarios in figure order. Throws (via add) if
 /// any id is already present in `registry`.
 void register_builtin_scenarios(ScenarioRegistry& registry);
 

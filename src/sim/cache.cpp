@@ -35,13 +35,17 @@ std::size_t CacheIndex::collect_servers(model::StripeId stripe,
   return appended;
 }
 
-std::uint64_t CacheIndex::remove_box(model::BoxId box) {
+std::uint64_t CacheIndex::remove_box(model::BoxId box,
+                                     std::vector<model::StripeId>* affected) {
   std::uint64_t removed = 0;
-  for (auto& entries : per_stripe_) {
+  for (model::StripeId stripe = 0; stripe < per_stripe_.size(); ++stripe) {
+    auto& entries = per_stripe_[stripe];
     const auto keep =
         std::remove_if(entries.begin(), entries.end(),
                        [box](const Entry& e) { return e.box == box; });
-    removed += static_cast<std::uint64_t>(entries.end() - keep);
+    const auto dropped = static_cast<std::uint64_t>(entries.end() - keep);
+    if (dropped > 0 && affected != nullptr) affected->push_back(stripe);
+    removed += dropped;
     entries.erase(keep, entries.end());
   }
   entries_ -= removed;

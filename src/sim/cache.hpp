@@ -38,8 +38,11 @@ class CacheIndex {
   void prune(model::Round now);
 
   /// Drop every entry of `box` (the box failed: its cache is gone). Returns
-  /// the number of entries removed.
-  std::uint64_t remove_box(model::BoxId box);
+  /// the number of entries removed. When `affected` is non-null, the id of
+  /// each stripe that lost at least one entry is appended once (the sparse
+  /// candidate index needs to know which rows to strip).
+  std::uint64_t remove_box(model::BoxId box,
+                           std::vector<model::StripeId>* affected = nullptr);
 
   [[nodiscard]] std::uint64_t entry_count() const noexcept { return entries_; }
   [[nodiscard]] model::Round window() const noexcept { return window_; }

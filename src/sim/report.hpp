@@ -39,6 +39,13 @@ struct RunReport {
   std::uint64_t new_connections = 0;
   std::uint64_t matcher_edges = 0;       ///< total candidate edges examined
 
+  // --- candidate-construction accounting (sparse-vs-dense comparisons) ---
+  /// Candidate rows collected from ground truth. The dense path pays one per
+  /// live request per round; the sparse path only for dirtied rows.
+  std::uint64_t rows_built = 0;
+  std::uint64_t row_patches = 0;          ///< surgical CSR row edits (sparse)
+  std::uint64_t sparse_full_rebuilds = 0; ///< dirty-fraction fallback trips
+
   // --- topology (zone-aware matching extension; all zero without one) ---
   std::uint64_t intra_zone_chunks = 0;   ///< chunks served within a zone
   std::uint64_t cross_zone_chunks = 0;   ///< chunks served across zones

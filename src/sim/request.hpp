@@ -67,4 +67,60 @@ struct ActiveRequest {
   }
 };
 
+/// Sparse-path slot id of a live request; kNoSparseSlot when the simulator
+/// runs the dense engine (no SparseRoundState attached).
+inline constexpr std::uint32_t kNoSparseSlot = static_cast<std::uint32_t>(-1);
+
+/// Struct-of-arrays storage for the live request set. The round loop scans
+/// these fields linearly every round (candidate building, retirement, zone
+/// accounting), so parallel arrays keep each scan on the one field it needs
+/// instead of striding over whole ActiveRequest records — the difference is
+/// real cache traffic at the million-box scale the sparse engine targets.
+struct LiveRequestSoA {
+  std::vector<model::StripeId> stripe;
+  std::vector<model::Round> issue;
+  std::vector<model::BoxId> requester;
+  std::vector<SessionId> session;
+  std::vector<std::int32_t> carry;  ///< previous round's server, or -1
+  std::vector<std::uint32_t> slot;  ///< sparse slot id, or kNoSparseSlot
+
+  [[nodiscard]] std::size_t size() const noexcept { return stripe.size(); }
+  [[nodiscard]] bool empty() const noexcept { return stripe.empty(); }
+
+  void push_back(model::StripeId s, model::Round i, model::BoxId r,
+                 SessionId id, std::uint32_t sparse_slot) {
+    stripe.push_back(s);
+    issue.push_back(i);
+    requester.push_back(r);
+    session.push_back(id);
+    carry.push_back(-1);
+    slot.push_back(sparse_slot);
+  }
+
+  /// Overwrite entry `dst` with entry `src` (compaction scans).
+  void move_to(std::size_t dst, std::size_t src) {
+    stripe[dst] = stripe[src];
+    issue[dst] = issue[src];
+    requester[dst] = requester[src];
+    session[dst] = session[src];
+    carry[dst] = carry[src];
+    slot[dst] = slot[src];
+  }
+
+  void resize(std::size_t n) {
+    stripe.resize(n);
+    issue.resize(n);
+    requester.resize(n);
+    session.resize(n);
+    carry.resize(n);
+    slot.resize(n);
+  }
+
+  /// Position needed at round `now` by request `i`.
+  [[nodiscard]] model::Round position(std::size_t i,
+                                      model::Round now) const noexcept {
+    return now - issue[i];
+  }
+};
+
 }  // namespace p2pvod::sim

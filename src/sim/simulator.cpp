@@ -1,11 +1,14 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <type_traits>
 
+#include "flow/verify.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cli.hpp"
 #include "workload/demand.hpp"
 
 namespace p2pvod::sim {
@@ -93,6 +96,20 @@ Simulator::Simulator(const model::Catalog& catalog,
     total_capacity_slots_ += slots;
   nominal_capacity_ = capacity_slots_;
   online_.assign(profile_.size(), true);
+
+  // Sparse-engine knobs: the env overrides let any existing scenario or test
+  // be re-run on the CSR path without a code change (they never fire in CI,
+  // where the environment is fixed).
+  if (util::env_positive_long("P2PVOD_SPARSE").value_or(0) > 0)
+    options_.sparse = true;
+  if (const auto pct = util::env_positive_long("P2PVOD_SPARSE_REBUILD_PCT"))
+    options_.sparse_rebuild_fraction =
+        static_cast<double>(std::min(*pct, 100L)) / 100.0;
+  if (options_.sparse && options_.topology == nullptr) {
+    sparse_ = std::make_unique<SparseRoundState>(
+        profile_.size(), catalog_.stripe_count(), catalog_.duration(),
+        options_.sparse_rebuild_fraction);
+  }
 }
 
 bool Simulator::box_idle(model::BoxId b) const {
@@ -170,8 +187,11 @@ void Simulator::admit(const Demand& demand) {
       throw std::logic_error("Simulator: plan issued in the past");
     if (!catalog_.contains(plan.stripe))
       throw std::out_of_range("Simulator: plan for unknown stripe");
-    for (const CacheGrant& grant : plan.grants)
+    for (const CacheGrant& grant : plan.grants) {
       cache_.grant(plan.stripe, grant.box, grant.entry);
+      if (sparse_ != nullptr)
+        sparse_->on_grant(plan.stripe, grant.box, grant.entry, now_);
+    }
     if (plan.requester == model::kInvalidBox) continue;
     ++report_.requests_issued;
     pending_[plan.issue].push_back({plan, session_id});
@@ -182,9 +202,13 @@ void Simulator::activate_pending() {
   const auto it = pending_.find(now_);
   if (it == pending_.end()) return;
   for (const PendingRequest& pending : it->second) {
-    live_.push_back({pending.plan.stripe, pending.plan.issue,
-                     pending.plan.requester, pending.session});
-    carry_.push_back(-1);
+    const std::uint32_t slot =
+        sparse_ != nullptr
+            ? sparse_->add_request(pending.plan.stripe, pending.plan.issue,
+                                   pending.plan.requester)
+            : kNoSparseSlot;
+    live_.push_back(pending.plan.stripe, pending.plan.issue,
+                    pending.plan.requester, pending.session, slot);
   }
   pending_.erase(it);
 }
@@ -193,25 +217,61 @@ void Simulator::solve_round() {
   if (live_.empty()) return;
   OBS_SPAN("sim/solve_round");
 
-  flow::ConnectionProblem problem(profile_.size());
-  problem.set_capacities(capacity_slots_);
-  {
-    OBS_SPAN("sim/build_candidates");
-    for (const ActiveRequest& request : live_) {
-      scratch_candidates_.clear();
-      for (const model::BoxId holder : allocation_.holders(request.stripe)) {
-        if (holder != request.requester && online_[holder])
-          scratch_candidates_.push_back(holder);
-      }
-      cache_.collect_servers(request.stripe, request.issue, now_,
-                             request.requester, scratch_candidates_);
-      std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
-      scratch_candidates_.erase(
-          std::unique(scratch_candidates_.begin(), scratch_candidates_.end()),
-          scratch_candidates_.end());
-      problem.add_request(scratch_candidates_);
+  const std::uint32_t served =
+      sparse_ != nullptr ? solve_round_sparse() : solve_round_dense();
+
+  report_.chunks_served += served;
+  sim_counters().chunks_matched.add(served);
+  const std::uint64_t unserved = live_.size() - served;
+  sim_counters().chunks_unmatched.add(unserved);
+  if (unserved > 0) {
+    report_.chunks_stalled += unserved;
+    if (report_.first_stall < 0) {
+      report_.first_stall = now_;
+      record_stall_witness();
+    }
+    if (options_.strict) {
+      report_.success = false;
+      stalled_ = true;
     }
   }
+
+  if (total_capacity_slots_ > 0) {
+    report_.upload_utilization.add(static_cast<double>(served) /
+                                   static_cast<double>(total_capacity_slots_));
+  }
+}
+
+flow::ConnectionProblem Simulator::build_connection_problem() {
+  flow::ConnectionProblem problem(profile_.size());
+  problem.set_capacities(capacity_slots_);
+  OBS_SPAN("sim/build_candidates");
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    scratch_candidates_.clear();
+    for (const model::BoxId holder : allocation_.holders(live_.stripe[i])) {
+      if (holder != live_.requester[i] && online_[holder])
+        scratch_candidates_.push_back(holder);
+    }
+    cache_.collect_servers(live_.stripe[i], live_.issue[i], now_,
+                           live_.requester[i], scratch_candidates_);
+    std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
+    scratch_candidates_.erase(
+        std::unique(scratch_candidates_.begin(), scratch_candidates_.end()),
+        scratch_candidates_.end());
+    problem.add_request(scratch_candidates_);
+  }
+  return problem;
+}
+
+void Simulator::record_stall_witness() {
+  const flow::ConnectionProblem problem = build_connection_problem();
+  if (const auto witness = problem.infeasibility_witness())
+    report_.stall_witness_size = static_cast<std::uint32_t>(witness->size());
+}
+
+std::uint32_t Simulator::solve_round_dense() {
+  flow::ConnectionProblem problem = build_connection_problem();
+  report_.rows_built += live_.size();  // dense collects every row, every round
   report_.matcher_edges += problem.edge_count();
   sim_counters().matcher_edges.add(problem.edge_count());
 
@@ -221,8 +281,9 @@ void Simulator::solve_round() {
     if (options_.topology != nullptr) {
       result = solve_zone_aware(problem);
     } else if (options_.incremental) {
-      result = matcher_.solve(problem, carry_);
+      result = matcher_.solve(problem, live_.carry);
       if (options_.verify_incremental) {
+        flow::validate_assignment(problem, result);
         const flow::MatchResult reference = problem.solve(options_.engine);
         if (reference.served != result.served)
           throw std::logic_error(
@@ -233,35 +294,59 @@ void Simulator::solve_round() {
     }
   }
 
-  report_.chunks_served += result.served;
-  sim_counters().chunks_matched.add(result.served);
-  const std::uint64_t unserved = live_.size() - result.served;
-  sim_counters().chunks_unmatched.add(unserved);
-  if (unserved > 0) {
-    report_.chunks_stalled += unserved;
-    if (report_.first_stall < 0) {
-      report_.first_stall = now_;
-      if (const auto witness = problem.infeasibility_witness())
-        report_.stall_witness_size =
-            static_cast<std::uint32_t>(witness->size());
-    }
-    if (options_.strict) {
-      report_.success = false;
-      stalled_ = true;
-    }
-  }
-
-  if (total_capacity_slots_ > 0) {
-    report_.upload_utilization.add(static_cast<double>(result.served) /
-                                   static_cast<double>(total_capacity_slots_));
-  }
-  carry_ = std::move(result.assignment);
+  const std::uint32_t served = result.served;
+  live_.carry = std::move(result.assignment);
   // Connection-reuse accounting comes from the incremental matcher, which a
   // topology supersedes — don't report stats from a matcher that never ran.
   if (options_.incremental && options_.topology == nullptr) {
     report_.kept_connections = matcher_.stats().kept_connections;
     report_.new_connections = matcher_.stats().new_connections;
   }
+  return served;
+}
+
+std::uint32_t Simulator::solve_round_sparse() {
+  const auto collect = [this](model::StripeId stripe, model::Round issue,
+                              model::BoxId requester,
+                              std::vector<model::BoxId>& out) {
+    for (const model::BoxId holder : allocation_.holders(stripe)) {
+      if (holder != requester && online_[holder]) out.push_back(holder);
+    }
+    cache_.collect_servers(stripe, issue, now_, requester, out);
+  };
+  std::uint32_t served = 0;
+  {
+    OBS_SPAN("sim/match");
+    served = sparse_->solve(now_, capacity_slots_, collect);
+  }
+  report_.matcher_edges += sparse_->edge_count();
+  sim_counters().matcher_edges.add(sparse_->edge_count());
+  for (std::size_t i = 0; i < live_.size(); ++i)
+    live_.carry[i] = sparse_->assignment(live_.slot[i]);
+  const SparseStats& stats = sparse_->stats();
+  report_.kept_connections = stats.kept_connections;
+  report_.new_connections = stats.new_connections;
+  report_.rows_built = stats.rows_built;
+  report_.row_patches = stats.row_patches;
+  report_.sparse_full_rebuilds = stats.full_rebuilds;
+
+  if (options_.verify_incremental) {
+    // Reconstruct the round's dense problem from ground truth and validate
+    // the sparse assignment against it: membership and capacity violations
+    // surface here with the offending request named, and a served-count
+    // mismatch against the reference solve catches lost maximality.
+    const flow::ConnectionProblem problem = build_connection_problem();
+    flow::MatchResult check;
+    check.assignment = live_.carry;
+    check.served = served;
+    check.complete = served == live_.size();
+    flow::validate_assignment(problem, check);
+    const flow::MatchResult reference = problem.solve(options_.engine);
+    if (reference.served != served)
+      throw std::logic_error(
+          "Simulator: sparse matcher disagrees with reference solve");
+  }
+  return served;
 }
 
 flow::MatchResult Simulator::solve_zone_aware(
@@ -273,7 +358,7 @@ flow::MatchResult Simulator::solve_zone_aware(
   // maximum matchings (so feasibility answers match the Dinic path exactly).
   flow::EdgeCosts costs(live_.size());
   for (std::size_t i = 0; i < live_.size(); ++i) {
-    const net::ZoneId dest = topology.zone_of(live_[i].requester);
+    const net::ZoneId dest = topology.zone_of(live_.requester[i]);
     const auto& candidates = problem.candidates(static_cast<std::uint32_t>(i));
     costs[i].reserve(candidates.size());
     for (const std::uint32_t b : candidates) {
@@ -292,7 +377,7 @@ flow::MatchResult Simulator::solve_zone_aware(
     if (assigned < 0) continue;
     const auto b = static_cast<model::BoxId>(assigned);
     const net::ZoneId from = topology.zone_of(b);
-    const net::ZoneId to = topology.zone_of(live_[i].requester);
+    const net::ZoneId to = topology.zone_of(live_.requester[i]);
     (from == to ? intra : cross) += 1;
     report_.zone_cost_total += topology.cost(from, to);
   }
@@ -331,7 +416,7 @@ void Simulator::enforce_link_caps(const flow::ConnectionProblem& problem,
     if (assigned < 0) continue;
     std::uint32_t& left =
         budget[pair_of(static_cast<model::BoxId>(assigned),
-                       live_[r].requester)];
+                       live_.requester[r])];
     if (left == net::kUnlimitedLink) continue;
     if (left == 0) {
       result.assignment[r] = -1;
@@ -356,9 +441,9 @@ void Simulator::enforce_link_caps(const flow::ConnectionProblem& problem,
       net::Cost best_cost = 0;
       for (const std::uint32_t b : candidates) {
         if (degree[b] >= problem.capacity(b)) continue;
-        const std::size_t pair = pair_of(b, live_[r].requester);
+        const std::size_t pair = pair_of(b, live_.requester[r]);
         if (budget[pair] == 0) continue;  // kUnlimitedLink is never 0
-        const net::Cost cost = topology.box_cost(b, live_[r].requester);
+        const net::Cost cost = topology.box_cost(b, live_.requester[r]);
         if (best < 0 || cost < best_cost ||
             (cost == best_cost && b < static_cast<std::uint32_t>(best))) {
           best = static_cast<std::int32_t>(b);
@@ -370,8 +455,8 @@ void Simulator::enforce_link_caps(const flow::ConnectionProblem& problem,
       ++result.served;
       sim_counters().link_cap_rescues.add();
       ++degree[static_cast<std::uint32_t>(best)];
-      std::uint32_t& left =
-          budget[pair_of(static_cast<model::BoxId>(best), live_[r].requester)];
+      std::uint32_t& left = budget[pair_of(static_cast<model::BoxId>(best),
+                                           live_.requester[r])];
       if (left != net::kUnlimitedLink) --left;
     }
   }
@@ -383,21 +468,19 @@ void Simulator::retire_completed() {
   const model::Round duration = catalog_.duration();
   std::size_t write = 0;
   for (std::size_t i = 0; i < live_.size(); ++i) {
-    const ActiveRequest& request = live_[i];
-    if (request.position(now_) + 1 >= duration) {
+    if (live_.position(i, now_) + 1 >= duration) {
       // Last chunk delivered this round; the request retires.
-      Session& session = sessions_[request.session];
+      Session& session = sessions_[live_.session[i]];
       if (session.pending_requests == 0)
         throw std::logic_error("Simulator: session underflow");
       --session.pending_requests;
+      if (sparse_ != nullptr) sparse_->remove_request(live_.slot[i]);
       continue;
     }
-    live_[write] = live_[i];
-    carry_[write] = carry_[i];
+    live_.move_to(write, i);
     ++write;
   }
   live_.resize(write);
-  carry_.resize(write);
 }
 
 void Simulator::abort_session(SessionId id) {
@@ -409,17 +492,18 @@ void Simulator::abort_session(SessionId id) {
   ++report_.sessions_aborted;
   busy_until_[session.box] = std::min(busy_until_[session.box], now_);
 
-  // Drop the session's live requests (order-preserving, keeps carry_ aligned)
+  // Drop the session's live requests (order-preserving, keeps carry aligned)
   // and its not-yet-activated pending requests.
   std::size_t write = 0;
   for (std::size_t i = 0; i < live_.size(); ++i) {
-    if (live_[i].session == id) continue;
-    live_[write] = live_[i];
-    carry_[write] = carry_[i];
+    if (live_.session[i] == id) {
+      if (sparse_ != nullptr) sparse_->remove_request(live_.slot[i]);
+      continue;
+    }
+    live_.move_to(write, i);
     ++write;
   }
   live_.resize(write);
-  carry_.resize(write);
   for (auto& [round, pending] : pending_) {
     std::erase_if(pending, [id](const PendingRequest& p) {
       return p.session == id;
@@ -428,23 +512,44 @@ void Simulator::abort_session(SessionId id) {
   }
 }
 
+void Simulator::debug_check_capacity_total() const {
+#ifndef NDEBUG
+  std::uint64_t rescan = 0;
+  for (const std::uint32_t slots : capacity_slots_) rescan += slots;
+  assert(rescan == total_capacity_slots_ &&
+         "Simulator: capacity ±delta diverged from a full rescan");
+#endif
+}
+
 void Simulator::set_box_online(model::BoxId box, bool online) {
   if (box >= profile_.size())
     throw std::out_of_range("Simulator::set_box_online");
   if (online_[box] == online) return;
   online_[box] = online;
-  capacity_slots_[box] = online ? nominal_capacity_[box] : 0u;
-  total_capacity_slots_ = 0;
-  for (const std::uint32_t slots : capacity_slots_)
-    total_capacity_slots_ += slots;
+  // ±delta, not a rescan: churn is per-event, and an O(n) sweep here was a
+  // round-loop hot spot of its own at production n with per-round failures.
+  const std::uint32_t was = capacity_slots_[box];
+  const std::uint32_t is = online ? nominal_capacity_[box] : 0u;
+  capacity_slots_[box] = is;
+  total_capacity_slots_ = total_capacity_slots_ - was + is;
+  debug_check_capacity_total();
 
   if (online) {
     busy_until_[box] = now_;  // rejoins idle; static storage is intact
+    if (sparse_ != nullptr)
+      sparse_->on_box_online(box, allocation_.stored(box));
     return;
   }
 
   ++report_.box_failures;
-  cache_.remove_box(box);  // volatile cache dies with the box
+  // Volatile cache dies with the box; the sparse index also needs to strip
+  // the box from the rows of every stripe it could serve.
+  scratch_cache_stripes_.clear();
+  cache_.remove_box(box,
+                    sparse_ != nullptr ? &scratch_cache_stripes_ : nullptr);
+  if (sparse_ != nullptr)
+    sparse_->on_box_offline(box, allocation_.stored(box),
+                            scratch_cache_stripes_);
 
   // Abort every playback the box was watching and every session that relied
   // on it as the downloading requester (the §4 relay channel).
@@ -454,8 +559,8 @@ void Simulator::set_box_online(model::BoxId box, bool online) {
     if (!session.aborted && session.ends > now_ && session.box == box)
       doomed[id] = true;
   }
-  for (const ActiveRequest& request : live_) {
-    if (request.requester == box) doomed[request.session] = true;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_.requester[i] == box) doomed[live_.session[i]] = true;
   }
   for (const auto& [round, pending] : pending_) {
     for (const PendingRequest& p : pending) {

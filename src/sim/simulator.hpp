@@ -34,6 +34,7 @@
 #include "sim/cache.hpp"
 #include "sim/report.hpp"
 #include "sim/request.hpp"
+#include "sim/sparse_round.hpp"
 #include "sim/strategy.hpp"
 #include "sim/swarm.hpp"
 
@@ -69,6 +70,19 @@ struct SimulatorOptions {
   /// caps, when present, admission-control per-zone-pair connections.
   /// Supersedes `incremental` — connection reuse is not cost-aware.
   const net::Topology* topology = nullptr;
+  /// Million-box path (E16): keep the candidate adjacency in a persistent
+  /// CSR structure patched by deltas instead of rebuilt per round, and
+  /// repair last round's matching from the unmatched slots only. Serves
+  /// exactly as many requests as the dense solve (both are maximum
+  /// matchings; verify_incremental cross-checks the assignment itself);
+  /// connection-level assignments may differ. Superseded by `topology` —
+  /// cost-aware matching is not incremental. Env: P2PVOD_SPARSE=1 forces it
+  /// on for any run.
+  bool sparse = false;
+  /// Dirty-row fraction above which the sparse path rebuilds every row from
+  /// ground truth instead of patching (patch bookkeeping stops paying once
+  /// most rows changed anyway). Env: P2PVOD_SPARSE_REBUILD_PCT (0..100).
+  double sparse_rebuild_fraction = 0.5;
 };
 
 class Simulator {
@@ -126,6 +140,10 @@ class Simulator {
   [[nodiscard]] std::uint64_t total_capacity_slots() const noexcept {
     return total_capacity_slots_;
   }
+  /// True when rounds run on the sparse CSR engine (options or env knob).
+  [[nodiscard]] bool sparse_active() const noexcept {
+    return sparse_ != nullptr;
+  }
 
  private:
   struct Session {
@@ -146,6 +164,17 @@ class Simulator {
   void admit(const Demand& demand);
   void activate_pending();
   void solve_round();
+  /// Dense engine: build this round's ConnectionProblem from scratch and
+  /// solve it (zone-aware / incremental / plain). Returns requests served.
+  std::uint32_t solve_round_dense();
+  /// Sparse engine: patch-and-repair round on the persistent CSR state.
+  std::uint32_t solve_round_sparse();
+  /// The round's dense ConnectionProblem, collected from ground truth (also
+  /// the reference the sparse verify path validates against).
+  [[nodiscard]] flow::ConnectionProblem build_connection_problem();
+  /// Hall-violating witness for the first stall (rebuilds the round's
+  /// problem; runs once per run at most).
+  void record_stall_witness();
   /// Cost-aware matching for the round (options_.topology set): min-cost
   /// solve, link-cap admission control, cross-zone accounting.
   [[nodiscard]] flow::MatchResult solve_zone_aware(
@@ -154,6 +183,9 @@ class Simulator {
                          flow::MatchResult& result);
   void retire_completed();
   void abort_session(SessionId id);
+  /// Debug builds: assert total_capacity_slots_ matches a full rescan after
+  /// a ±delta update.
+  void debug_check_capacity_total() const;
 
   const model::Catalog& catalog_;
   const model::CapacityProfile& profile_;
@@ -164,13 +196,14 @@ class Simulator {
   SwarmRegistry swarms_;
   CacheIndex cache_;
   flow::IncrementalMatcher matcher_;
+  /// Persistent CSR adjacency + matching; null on the dense engine.
+  std::unique_ptr<SparseRoundState> sparse_;
 
   std::vector<Session> sessions_;
   std::vector<model::Round> busy_until_;
   std::map<model::Round, std::vector<PendingRequest>> pending_;
   std::map<model::Round, std::vector<SessionId>> end_events_;
-  std::vector<ActiveRequest> live_;
-  std::vector<std::int32_t> carry_;  ///< previous assignment, aligned to live_
+  LiveRequestSoA live_;  ///< live requests + carry, struct-of-arrays
   std::vector<std::uint32_t> capacity_slots_;
   std::vector<std::uint32_t> nominal_capacity_;  ///< restored on recovery
   std::vector<bool> online_;
@@ -183,6 +216,7 @@ class Simulator {
   // scratch buffers reused across rounds
   std::vector<model::BoxId> scratch_candidates_;
   std::vector<PlannedRequest> scratch_plans_;
+  std::vector<model::StripeId> scratch_cache_stripes_;
 };
 
 }  // namespace p2pvod::sim

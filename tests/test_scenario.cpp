@@ -139,9 +139,9 @@ struct RunCapture final : sc::ResultSink {
 
 // --- registry ---------------------------------------------------------------
 
-TEST(ScenarioRegistry, BuiltinHoldsAllFourteenFiguresInOrder) {
+TEST(ScenarioRegistry, BuiltinHoldsAllFifteenFiguresInOrder) {
   const auto& registry = sc::ScenarioRegistry::builtin();
-  ASSERT_EQ(registry.size(), 14u);
+  ASSERT_EQ(registry.size(), 15u);
   std::vector<std::string> ids;
   std::vector<std::string> figures;
   for (const sc::Scenario* scenario : registry.list()) {
@@ -152,10 +152,10 @@ TEST(ScenarioRegistry, BuiltinHoldsAllFourteenFiguresInOrder) {
                      "table1", "threshold", "catalog_scaling", "replication",
                      "swarm_growth", "allocation", "hetero", "tradeoff",
                      "startup_delay", "obstruction", "baseline", "churn",
-                     "crosszone", "zonecap"}));
-  EXPECT_EQ(figures, (std::vector<std::string>{"E1", "E2", "E3", "E4", "E5",
-                                               "E6", "E7", "E8", "E9", "E10",
-                                               "E11", "E13", "E14", "E15"}));
+                     "crosszone", "zonecap", "scaleladder"}));
+  EXPECT_EQ(figures, (std::vector<std::string>{
+                         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+                         "E10", "E11", "E13", "E14", "E15", "E16"}));
 }
 
 TEST(ScenarioRegistry, FindAndAtResolveIds) {
@@ -511,3 +511,17 @@ INSTANTIATE_TEST_SUITE_P(AllFigures, ScenarioDeterminism,
                                          "hetero", "tradeoff", "startup_delay",
                                          "obstruction", "baseline", "churn",
                                          "crosszone", "zonecap"));
+
+// E16's smallest 0.25-scale rung is already 250 boxes × 6 rungs, too heavy
+// for the parametrized sweep above; a tiny dedicated scale keeps the sparse
+// round path inside the thread-count determinism net. (The suite name must
+// keep the ScenarioDeterminism prefix: the tsan CI job filters on it.)
+TEST(ScenarioDeterminismSparse, ScaleLadderIsByteIdenticalAcrossThreads) {
+  const ScopedEnv scale("P2PVOD_SCALE", "0.01");
+  const sc::Scenario& scenario =
+      sc::ScenarioRegistry::builtin().at("scaleladder");
+  const std::string serial = run_with_threads(scenario, 1);
+  EXPECT_EQ(serial, run_with_threads(scenario, 4));
+  EXPECT_EQ(serial, run_with_threads(scenario, 8));
+  EXPECT_FALSE(serial.empty());
+}
