@@ -74,6 +74,12 @@ void print_usage() {
       "                   (also enabled by P2PVOD_METRICS=1)\n"
       "  --trace DIR      record span traces; writes DIR/TRACE_<id>.json in\n"
       "                   Chrome trace-event format (also P2PVOD_TRACE=DIR)\n"
+      "  --profile DIR    aggregate spans into a call-tree profile; writes\n"
+      "                   DIR/PROFILE_<id>.json and .collapsed (flamegraph\n"
+      "                   collapsed-stack text; also P2PVOD_PROFILE=DIR)\n"
+      "  --series DIR     record per-round metric deltas; writes\n"
+      "                   DIR/SERIES_<id>.csv and .json (also\n"
+      "                   P2PVOD_SERIES=DIR)\n"
       "  --help           this text\n";
 }
 
@@ -100,8 +106,8 @@ int main(int argc, char** argv) {
   static const std::vector<std::string> kKnownOptions = {
       "all",       "atol",     "baseline", "csv-dir",    "help",
       "json-dir",  "list",     "metrics",  "no-json",    "no-tables",
-      "rtol",      "scale",    "seed",     "threads",    "trace",
-      "wall-factor", "wall-slack", "zones"};
+      "profile",   "rtol",     "scale",    "seed",       "series",
+      "threads",   "trace",    "wall-factor", "wall-slack", "zones"};
   for (const std::string& name : args.option_names()) {
     if (std::find(kKnownOptions.begin(), kKnownOptions.end(), name) ==
         kKnownOptions.end()) {
@@ -203,6 +209,12 @@ int main(int argc, char** argv) {
   if (args.get_bool("metrics", false)) run_options.collect_metrics = true;
   if (const auto trace_dir = args.get("trace"); trace_dir.has_value()) {
     run_options.trace_dir = *trace_dir;
+  }
+  if (const auto profile_dir = args.get("profile"); profile_dir.has_value()) {
+    run_options.profile_dir = *profile_dir;
+  }
+  if (const auto series_dir = args.get("series"); series_dir.has_value()) {
+    run_options.series_dir = *series_dir;
   }
   try {
     tolerance.rtol = args.get_double("rtol", tolerance.rtol);

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace p2pvod::flow {
+
+namespace {
+
+/// Augment-call accounting. The multiset of augment() calls and their
+/// outcomes is fixed by the round schedule (calls happen sequentially within
+/// one trial), so both metrics are thread-count-invariant.
+struct AugmentCounters {
+  obs::Counter& calls;
+  obs::Histogram& depth;
+  static AugmentCounters& get() {
+    static AugmentCounters counters{
+        obs::MetricsRegistry::global().counter("flow/csr_augments"),
+        obs::MetricsRegistry::global().histogram("flow/csr_augment_depth",
+                                                 obs::pow2_bounds(12))};
+    return counters;
+  }
+};
+
+}  // namespace
 
 CsrMatcher::CsrMatcher(std::uint32_t box_count)
     : degree_(box_count, 0),
@@ -46,6 +68,10 @@ void CsrMatcher::next_epoch() {
 bool CsrMatcher::augment(const CsrProblem& csr,
                          std::span<const std::uint32_t> capacity,
                          std::uint32_t row) {
+  OBS_SPAN("flow/csr_augment");
+  AugmentCounters& counters = AugmentCounters::get();
+  counters.calls.add();
+  std::size_t max_depth = 1;
   next_epoch();
   stack_.clear();
   stack_.push_back({row, 0, 0, false});
@@ -75,6 +101,7 @@ bool CsrMatcher::augment(const CsrProblem& csr,
             served_by_[parent_box][parent.si] = parent.row;
             assignment_[parent.row] = static_cast<std::int32_t>(parent_box);
           }
+          counters.depth.observe(max_depth);
           return true;
         }
         // Box saturated: try to displace one of the rows it serves.
@@ -100,7 +127,9 @@ bool CsrMatcher::augment(const CsrProblem& csr,
     // Descend: can servings[f.si] be rerouted elsewhere? (Push invalidates
     // `f`; the loop re-derives the reference next iteration.)
     stack_.push_back({servings[f.si], 0, 0, false});
+    max_depth = std::max(max_depth, stack_.size());
   }
+  counters.depth.observe(max_depth);
   return false;
 }
 

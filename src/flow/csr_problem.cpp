@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace p2pvod::flow {
 
 namespace {
@@ -10,6 +13,21 @@ namespace {
 /// Extra slots granted on relocation so a growing row amortizes its moves.
 std::uint32_t slack_for(std::uint32_t size) {
   return std::max<std::uint32_t>(2, size / 2);
+}
+
+/// Pool-management accounting: relocations and compactions are driven purely
+/// by the edit sequence (sizes and thresholds), so both are
+/// thread-count-invariant.
+obs::Counter& relocation_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/csr_row_relocations");
+  return counter;
+}
+
+obs::Counter& compaction_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("flow/csr_pool_compactions");
+  return counter;
 }
 
 }  // namespace
@@ -108,6 +126,7 @@ std::span<const std::uint32_t> CsrProblem::row(std::uint32_t r) const {
 // Does NOT compact: callers finish their edit (the row's size field may be
 // mid-update) and trigger maybe_compact() themselves once consistent.
 void CsrProblem::relocate(std::uint32_t row, std::uint32_t capacity) {
+  relocation_counter().add();
   RowRef& ref = rows_[row];
   const auto offset = static_cast<std::uint32_t>(boxes_.size());
   boxes_.resize(boxes_.size() + capacity);
@@ -122,6 +141,8 @@ void CsrProblem::relocate(std::uint32_t row, std::uint32_t capacity) {
 
 void CsrProblem::maybe_compact() {
   if (boxes_.size() < 4096 || abandoned_ * 2 < boxes_.size()) return;
+  OBS_SPAN("flow/csr_compact");
+  compaction_counter().add();
   std::vector<std::uint32_t> boxes;
   std::vector<std::uint32_t> counts;
   boxes.reserve(boxes_.size() - abandoned_);

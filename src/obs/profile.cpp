@@ -1,0 +1,235 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace p2pvod::obs {
+
+namespace {
+
+/// Number of bits needed to represent `value` (0 for 0) — the log2 bucket
+/// index of a span duration.
+std::size_t bit_width_u64(std::uint64_t value) noexcept {
+  std::size_t width = 0;
+  while (value != 0) {
+    value >>= 1U;
+    ++width;
+  }
+  return width;
+}
+
+/// Upper bound of log2 bucket `index`: bucket 0 holds only zeros, bucket i
+/// holds [2^(i-1), 2^i - 1].
+std::uint64_t bucket_upper_bound(std::size_t index) noexcept {
+  if (index == 0) return 0;
+  if (index >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void observe_duration(ProfileNode& node, std::uint64_t dur_ns) {
+  const std::size_t bucket = bit_width_u64(dur_ns);
+  if (node.duration_log2.size() <= bucket)
+    node.duration_log2.resize(bucket + 1, 0);
+  ++node.duration_log2[bucket];
+}
+
+/// self = total - sum(direct children's totals), clamped at zero: ring-drop
+/// truncation can orphan children whose parents were overwritten, so the
+/// arithmetic identity is best-effort rather than an invariant of the input.
+void finalize_self(ProfileNode& node) {
+  std::uint64_t child_total = 0;
+  for (auto& [name, child] : node.children) {
+    finalize_self(child);
+    child_total += child.total_ns;
+  }
+  node.self_ns = node.total_ns > child_total ? node.total_ns - child_total : 0;
+}
+
+void merge_into(ProfileNode& into, const ProfileNode& from) {
+  into.count += from.count;
+  into.total_ns += from.total_ns;
+  into.self_ns += from.self_ns;
+  if (into.duration_log2.size() < from.duration_log2.size())
+    into.duration_log2.resize(from.duration_log2.size(), 0);
+  for (std::size_t i = 0; i < from.duration_log2.size(); ++i)
+    into.duration_log2[i] += from.duration_log2[i];
+  for (const auto& [name, child] : from.children) {
+    ProfileNode& target = into.children[name];
+    target.name = name;
+    merge_into(target, child);
+  }
+}
+
+util::json::Value node_to_json(const ProfileNode& node) {
+  using util::json::Value;
+  Value entry{Value::Object{}};
+  entry.set("name", node.name);
+  entry.set("count", node.count);
+  entry.set("total_ns", node.total_ns);
+  entry.set("self_ns", node.self_ns);
+  entry.set("p50_ns", node.quantile_ns(0.50));
+  entry.set("p95_ns", node.quantile_ns(0.95));
+  entry.set("p99_ns", node.quantile_ns(0.99));
+  Value::Array children;
+  children.reserve(node.children.size());
+  for (const auto& [name, child] : node.children)
+    children.push_back(node_to_json(child));
+  entry.set("children", std::move(children));
+  return entry;
+}
+
+void collapse_node(const ProfileNode& node, const std::string& prefix,
+                   std::string& out) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + ";" + node.name;
+  out += path;
+  out += ' ';
+  out += std::to_string(node.self_ns);
+  out += '\n';
+  for (const auto& [name, child] : node.children)
+    collapse_node(child, path, out);
+}
+
+}  // namespace
+
+std::uint64_t ProfileNode::quantile_ns(double q) const noexcept {
+  if (count == 0) return 0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < duration_log2.size(); ++i) {
+    cumulative += duration_log2[i];
+    if (cumulative >= rank) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(duration_log2.empty() ? 0
+                                                  : duration_log2.size() - 1);
+}
+
+Profile Profile::from_events(const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> spans;
+  spans.reserve(events.size());
+  for (const TraceEvent& event : events)
+    if (event.phase == 'X') spans.push_back(&event);
+
+  // (tid, start asc, duration desc, name) ordering makes an enclosing span
+  // precede everything it contains even when a coarse clock produces start
+  // ties, and is a total order — the tree is independent of input order.
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              if (a->tid != b->tid) return a->tid < b->tid;
+              if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
+              if (a->dur_ns != b->dur_ns) return a->dur_ns > b->dur_ns;
+              return a->name < b->name;
+            });
+
+  Profile profile;
+  struct Frame {
+    std::uint64_t end_ns = 0;
+    ProfileNode* node = nullptr;
+  };
+  std::vector<Frame> stack;
+  ThreadProfile* thread = nullptr;
+  for (const TraceEvent* span : spans) {
+    if (thread == nullptr || thread->tid != span->tid) {
+      profile.threads_.push_back(ThreadProfile{span->tid, ProfileNode{}});
+      thread = &profile.threads_.back();
+      stack.clear();
+    }
+    // A span starting at or past an open span's end is a sibling (or uncle),
+    // not a child.
+    while (!stack.empty() && span->ts_ns >= stack.back().end_ns)
+      stack.pop_back();
+    ProfileNode& parent = stack.empty() ? thread->root : *stack.back().node;
+    ProfileNode& node = parent.children[span->name];
+    node.name = span->name;
+    ++node.count;
+    node.total_ns += span->dur_ns;
+    observe_duration(node, span->dur_ns);
+    stack.push_back(Frame{span->ts_ns + span->dur_ns, &node});
+  }
+
+  for (ThreadProfile& entry : profile.threads_) finalize_self(entry.root);
+  return profile;
+}
+
+ProfileNode Profile::merged() const {
+  ProfileNode root;
+  for (const ThreadProfile& thread : threads_) {
+    for (const auto& [name, child] : thread.root.children) {
+      ProfileNode& target = root.children[name];
+      target.name = name;
+      merge_into(target, child);
+    }
+  }
+  return root;
+}
+
+std::uint64_t Profile::span_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const ThreadProfile& thread : threads_) {
+    std::vector<const ProfileNode*> pending;
+    for (const auto& [name, child] : thread.root.children)
+      pending.push_back(&child);
+    while (!pending.empty()) {
+      const ProfileNode* node = pending.back();
+      pending.pop_back();
+      total += node->count;
+      for (const auto& [name, child] : node->children)
+        pending.push_back(&child);
+    }
+  }
+  return total;
+}
+
+util::json::Value Profile::to_json() const {
+  using util::json::Value;
+  Value doc{Value::Object{}};
+  doc.set("schema", "p2pvod-profile-v1");
+  doc.set("unit", "ns");
+  doc.set("span_count", span_count());
+  Value::Array threads;
+  threads.reserve(threads_.size());
+  for (const ThreadProfile& thread : threads_) {
+    Value entry{Value::Object{}};
+    entry.set("tid", static_cast<std::uint64_t>(thread.tid));
+    Value::Array spans;
+    spans.reserve(thread.root.children.size());
+    for (const auto& [name, child] : thread.root.children)
+      spans.push_back(node_to_json(child));
+    entry.set("spans", std::move(spans));
+    threads.push_back(std::move(entry));
+  }
+  doc.set("threads", std::move(threads));
+  return doc;
+}
+
+std::string Profile::to_collapsed() const {
+  const ProfileNode root = merged();
+  std::string out;
+  for (const auto& [name, child] : root.children)
+    collapse_node(child, "", out);
+  return out;
+}
+
+void Profile::write_files(const std::string& dir,
+                          const std::string& id) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string json_path = dir + "/PROFILE_" + id + ".json";
+  util::json::write_file(json_path, to_json());
+  const std::string collapsed_path = dir + "/PROFILE_" + id + ".collapsed";
+  std::ofstream out(collapsed_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Profile: cannot open " + collapsed_path);
+  out << to_collapsed();
+  if (!out)
+    throw std::runtime_error("Profile: write failed: " + collapsed_path);
+}
+
+}  // namespace p2pvod::obs

@@ -1,0 +1,104 @@
+// Span-aggregated call-tree profiles built from TraceSession events.
+//
+// A raw Chrome trace answers "what happened when"; a profile answers "where
+// did the time go". Profile::from_events folds the 'X' (complete) events of
+// one TraceSession into a per-thread call tree keyed by span-name path:
+// parent/child edges come from span nesting (a span whose [ts, ts+dur)
+// interval lies inside another span's interval on the same thread is its
+// child), and every tree node aggregates
+//
+//   - count     — how many spans landed on this path,
+//   - total_ns  — inclusive time (sum of span durations),
+//   - self_ns   — exclusive time (total minus direct children's totals),
+//   - a log2-bucket duration histogram, from which p50/p95/p99 estimates
+//     are derived (deterministic integer math: a quantile reports the upper
+//     bound of the bucket holding that rank, never an interpolation).
+//
+// Two export formats: a JSON document ("p2pvod-profile-v1", validated by
+// p2pvod_trace_check --profile) and flamegraph-compatible collapsed-stack
+// text ("a;b;c <self_ns>" per line — feed to flamegraph.pl --countname=ns).
+//
+// Determinism: given the same event vector the output is byte-identical —
+// children are name-ordered maps, threads are tid-ordered, and quantiles are
+// bucket bounds. The *values* are wall-clock durations, so profile documents
+// are wall-clock artifacts like traces: never baseline-diffed, and writing
+// them must not perturb BENCH output (the runner sends notices to stderr).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace p2pvod::obs {
+
+/// One node of an aggregated call tree. `children` is name-keyed (ordered)
+/// so traversals and exports are deterministic.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  /// duration_log2[i] counts spans whose duration has bit-width i, i.e.
+  /// bucket 0 holds zero-duration spans and bucket i (i >= 1) holds
+  /// durations in [2^(i-1), 2^i - 1]. Trailing zero buckets are trimmed.
+  std::vector<std::uint64_t> duration_log2;
+  std::map<std::string, ProfileNode> children;
+
+  /// Smallest bucket upper bound whose cumulative count reaches rank
+  /// ceil(q * count); 0 when the node has no spans. Deterministic (integer
+  /// arithmetic over bucket counts, no interpolation).
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const noexcept;
+};
+
+/// Call tree of one thread. `root` is synthetic (empty name, zero times);
+/// its children are the thread's top-level spans.
+struct ThreadProfile {
+  std::uint32_t tid = 0;
+  ProfileNode root;
+};
+
+class Profile {
+ public:
+  /// Aggregate the 'X' events of one TraceSession::stop() result. Events
+  /// may arrive in any order; they are grouped per tid and re-sorted by
+  /// (start, duration descending) so an enclosing span always precedes the
+  /// spans it contains, even on clocks coarse enough to produce ties.
+  [[nodiscard]] static Profile from_events(
+      const std::vector<TraceEvent>& events);
+
+  /// Per-thread trees, tid-ascending.
+  [[nodiscard]] const std::vector<ThreadProfile>& threads() const noexcept {
+    return threads_;
+  }
+
+  /// All threads merged into one tree by span-name path (counts, times and
+  /// histograms added per path).
+  [[nodiscard]] ProfileNode merged() const;
+
+  [[nodiscard]] bool empty() const noexcept { return threads_.empty(); }
+
+  /// Total number of spans aggregated across all threads.
+  [[nodiscard]] std::uint64_t span_count() const noexcept;
+
+  /// The "p2pvod-profile-v1" document: schema/unit header plus one
+  /// {tid, spans: [node...]} entry per thread, nodes carrying
+  /// name/count/total_ns/self_ns/p50_ns/p95_ns/p99_ns/children.
+  [[nodiscard]] util::json::Value to_json() const;
+
+  /// Flamegraph collapsed-stack text over the merged tree: one
+  /// "path;to;node <self_ns>" line per node, pre-order, name-sorted.
+  [[nodiscard]] std::string to_collapsed() const;
+
+  /// Write <dir>/PROFILE_<id>.json and <dir>/PROFILE_<id>.collapsed,
+  /// creating `dir` as needed. Throws std::runtime_error on I/O failure.
+  void write_files(const std::string& dir, const std::string& id) const;
+
+ private:
+  std::vector<ThreadProfile> threads_;
+};
+
+}  // namespace p2pvod::obs

@@ -1,0 +1,137 @@
+#include "obs/timeseries.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace p2pvod::obs {
+
+namespace {
+
+struct SeriesState {
+  std::atomic<bool> active{false};
+  std::mutex mutex;  // guards everything below
+  MetricsSnapshot last;
+  std::vector<std::uint64_t> rounds;
+  /// Name-keyed columns; a column appearing after the first tick is
+  /// zero-backfilled to the current row count on first touch.
+  std::map<std::string, std::vector<std::uint64_t>> columns;
+};
+
+SeriesState& state() {
+  // Leaked for symmetry with the registry/trace state: ticks may arrive from
+  // pool workers that outlive ordinary statics.
+  static auto* instance = new SeriesState();
+  return *instance;
+}
+
+}  // namespace
+
+void RoundSeries::start() {
+  SeriesState& s = state();
+  const std::lock_guard lock(s.mutex);
+  if (s.active.load(std::memory_order_relaxed)) return;
+  s.last = MetricsRegistry::global().snapshot();
+  s.rounds.clear();
+  s.columns.clear();
+  s.active.store(true, std::memory_order_release);
+}
+
+bool RoundSeries::active() noexcept {
+  return state().active.load(std::memory_order_relaxed);
+}
+
+void RoundSeries::tick(std::uint64_t round) {
+  SeriesState& s = state();
+  const std::lock_guard lock(s.mutex);
+  if (!s.active.load(std::memory_order_relaxed)) return;
+  MetricsSnapshot now = MetricsRegistry::global().snapshot();
+  const MetricsSnapshot delta = now.delta_since(s.last);
+  const std::size_t row = s.rounds.size();
+  for (const auto& [name, value] : delta.values) {
+    if (value.kind != MetricValue::Kind::kCounter) continue;
+    std::vector<std::uint64_t>& column = s.columns[name];
+    column.resize(row, 0);  // zero-backfill a late-registered column
+    column.push_back(value.count);
+  }
+  s.rounds.push_back(round);
+  s.last = std::move(now);
+}
+
+RoundSeriesData RoundSeries::stop() {
+  SeriesState& s = state();
+  RoundSeriesData data;
+  const std::lock_guard lock(s.mutex);
+  if (!s.active.load(std::memory_order_relaxed)) return data;
+  s.active.store(false, std::memory_order_release);
+  data.rounds = std::move(s.rounds);
+  data.columns.reserve(s.columns.size());
+  data.values.reserve(s.columns.size());
+  for (auto& [name, column] : s.columns) {
+    column.resize(data.rounds.size(), 0);
+    data.columns.push_back(name);
+    data.values.push_back(std::move(column));
+  }
+  s.rounds.clear();
+  s.columns.clear();
+  s.last = MetricsSnapshot{};
+  return data;
+}
+
+std::string RoundSeriesData::to_csv() const {
+  std::string out = "round";
+  for (const std::string& column : columns) {
+    out += ',';
+    out += column;
+  }
+  out += '\n';
+  for (std::size_t row = 0; row < rounds.size(); ++row) {
+    out += std::to_string(rounds[row]);
+    for (const std::vector<std::uint64_t>& column : values) {
+      out += ',';
+      out += std::to_string(column[row]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+util::json::Value RoundSeriesData::to_json() const {
+  using util::json::Value;
+  Value doc{Value::Object{}};
+  doc.set("schema", "p2pvod-series-v1");
+  Value::Array round_labels;
+  round_labels.reserve(rounds.size());
+  for (const std::uint64_t round : rounds) round_labels.push_back(round);
+  doc.set("rounds", std::move(round_labels));
+  Value series{Value::Object{}};
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    Value::Array deltas;
+    deltas.reserve(values[c].size());
+    for (const std::uint64_t value : values[c]) deltas.push_back(value);
+    series.set(columns[c], std::move(deltas));
+  }
+  doc.set("series", std::move(series));
+  return doc;
+}
+
+void RoundSeries::stop_to_files(const std::string& dir,
+                                const std::string& id) {
+  const RoundSeriesData data = stop();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  util::json::write_file(dir + "/SERIES_" + id + ".json", data.to_json());
+  const std::string csv_path = dir + "/SERIES_" + id + ".csv";
+  std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("RoundSeries: cannot open " + csv_path);
+  out << data.to_csv();
+  if (!out) throw std::runtime_error("RoundSeries: write failed: " + csv_path);
+}
+
+}  // namespace p2pvod::obs

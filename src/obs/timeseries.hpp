@@ -1,0 +1,77 @@
+// Per-round metric time-series: end-of-run totals become plottable curves.
+//
+// RoundSeries is a process-wide recording window in the style of
+// TraceSession: the scenario runner opens one per scenario, the simulator
+// calls RoundSeries::tick(round) at the end of each round, and each tick
+// snapshots the MetricsRegistry and appends the *delta* of every registered
+// counter since the previous tick to a columnar buffer. Threshold crossings,
+// churn transients, and sparse-path repair bursts show up as per-round
+// curves (served, stalled, matcher augmentations, rows_built, cross-zone
+// chunks, ...) instead of being flattened into one total.
+//
+// Cost model: with no active series, tick() is one relaxed atomic load.
+// While recording, each tick takes a registry snapshot under the series
+// mutex — O(registered metrics) per simulated round, which is noise next to
+// a matching round but not free; the runner only enables it on request
+// (--series DIR / P2PVOD_SERIES).
+//
+// Concurrency caveat: the registry is process-wide, so when several
+// simulations run concurrently (sweep trials on the pool) their increments
+// land in whichever tick is open — per-round attribution is only exact for
+// a single simulation at a time. Columns are name-ordered and rows arrive
+// in tick order, so a given run's export is deterministic; the *values* mix
+// trial interleavings, which is why series documents are artifacts (like
+// traces), never baselines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace p2pvod::obs {
+
+/// Columnar per-round counter-delta table. values[c][r] is the increment of
+/// counter columns[c] between ticks r-1 and r (tick 0 counts from start()).
+struct RoundSeriesData {
+  std::vector<std::uint64_t> rounds;        ///< tick labels, in tick order
+  std::vector<std::string> columns;         ///< counter names, name-ordered
+  std::vector<std::vector<std::uint64_t>> values;  ///< [column][row]
+
+  [[nodiscard]] bool empty() const noexcept { return rounds.empty(); }
+
+  /// "round,<col>,..." header plus one row per tick.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// The "p2pvod-series-v1" document: rounds array + {name: [deltas...]}.
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+/// Process-wide per-round recorder. At most one series is active at a time;
+/// start() while active is a no-op.
+class RoundSeries {
+ public:
+  /// Begin recording: snapshot the registry as the delta base and clear any
+  /// buffered rows from an earlier series.
+  static void start();
+
+  /// True while a series is recording (one relaxed load).
+  [[nodiscard]] static bool active() noexcept;
+
+  /// Append one row: every registered counter's delta since the previous
+  /// tick, labelled `round`. No-op when no series is active. Thread-safe
+  /// (ticks serialize on the series mutex), though concurrent simulations
+  /// interleave attribution — see the header comment.
+  static void tick(std::uint64_t round);
+
+  /// Stop recording and return the buffered table (empty when no series was
+  /// active). Columns registered after the first tick are zero-backfilled.
+  static RoundSeriesData stop();
+
+  /// Stop recording and write <dir>/SERIES_<id>.csv and .json, creating
+  /// `dir` as needed. Throws std::runtime_error on I/O failure.
+  static void stop_to_files(const std::string& dir, const std::string& id);
+};
+
+}  // namespace p2pvod::obs

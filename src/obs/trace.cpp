@@ -180,7 +180,11 @@ std::string TraceSession::to_chrome_json(
 }
 
 void TraceSession::stop_to_file(const std::string& path) {
-  const std::vector<TraceEvent> events = stop();
+  write_file(path, stop());
+}
+
+void TraceSession::write_file(const std::string& path,
+                              const std::vector<TraceEvent>& events) {
   const std::filesystem::path file(path);
   if (file.has_parent_path()) {
     std::error_code ec;

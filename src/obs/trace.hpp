@@ -62,6 +62,13 @@ class TraceSession {
   /// std::runtime_error on I/O failure.
   static void stop_to_file(const std::string& path);
 
+  /// Write already-collected events as a Chrome trace-event JSON document
+  /// (same format as stop_to_file); lets one stop() feed both the trace
+  /// file and the profile aggregation. Throws std::runtime_error on I/O
+  /// failure.
+  static void write_file(const std::string& path,
+                         const std::vector<TraceEvent>& events);
+
   /// Events dropped (ring overwrites) during the current/last session.
   [[nodiscard]] static std::uint64_t dropped_events() noexcept;
 

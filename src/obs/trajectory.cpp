@@ -1,0 +1,239 @@
+#include "obs/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace p2pvod::obs {
+
+namespace {
+
+constexpr const char* kSchema = "p2pvod-perf-trajectory-v1";
+
+/// Median of a sorted sample (even count: midpoint of the middle pair).
+double sorted_median(const std::vector<double>& sorted) {
+  const std::size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  if (n % 2 == 1) return sorted[n / 2];
+  return (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+}
+
+double number_at(const util::json::Value& object, const char* key) {
+  const util::json::Value* field = object.find(key);
+  if (field == nullptr || !field->is_number())
+    throw std::runtime_error(std::string("trajectory: missing number \"") +
+                             key + "\"");
+  return field->as_number();
+}
+
+}  // namespace
+
+WallStats WallStats::reduce(std::vector<double> samples) {
+  WallStats stats;
+  stats.runs = samples.size();
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.median = sorted_median(samples);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double sample : samples)
+    deviations.push_back(std::abs(sample - stats.median));
+  std::sort(deviations.begin(), deviations.end());
+  stats.mad = sorted_median(deviations);
+  // Welford pass in sorted order: canonical accumulation order makes the
+  // mean/stddev independent of the order the runs were handed in.
+  util::OnlineStats online;
+  for (const double sample : samples) online.add(sample);
+  stats.mean = online.mean();
+  stats.stddev = online.stddev();
+  stats.min = online.min();
+  stats.max = online.max();
+  return stats;
+}
+
+util::json::Value WallStats::to_json() const {
+  using util::json::Value;
+  Value entry{Value::Object{}};
+  entry.set("runs", static_cast<std::uint64_t>(runs));
+  entry.set("median", median);
+  entry.set("mad", mad);
+  entry.set("mean", mean);
+  entry.set("stddev", stddev);
+  entry.set("min", min);
+  entry.set("max", max);
+  return entry;
+}
+
+WallStats WallStats::from_json(const util::json::Value& value) {
+  WallStats stats;
+  stats.runs = static_cast<std::size_t>(number_at(value, "runs"));
+  stats.median = number_at(value, "median");
+  stats.mad = number_at(value, "mad");
+  stats.mean = number_at(value, "mean");
+  stats.stddev = number_at(value, "stddev");
+  stats.min = number_at(value, "min");
+  stats.max = number_at(value, "max");
+  return stats;
+}
+
+util::json::Value Trajectory::to_json() const {
+  using util::json::Value;
+  Value doc{Value::Object{}};
+  doc.set("schema", kSchema);
+  Value::Array point_entries;
+  point_entries.reserve(points.size());
+  for (const TrajectoryPoint& point : points) {
+    Value entry{Value::Object{}};
+    entry.set("label", point.label);
+    entry.set("scale", point.scale);
+    Value scenarios{Value::Object{}};
+    for (const auto& [id, perf] : point.scenarios) {
+      Value scenario{Value::Object{}};
+      scenario.set("total", perf.total.to_json());
+      Value stages{Value::Object{}};
+      for (const auto& [name, stats] : perf.stages)
+        stages.set(name, stats.to_json());
+      scenario.set("stages", std::move(stages));
+      scenarios.set(id, std::move(scenario));
+    }
+    entry.set("scenarios", std::move(scenarios));
+    point_entries.push_back(std::move(entry));
+  }
+  doc.set("points", std::move(point_entries));
+  return doc;
+}
+
+Trajectory Trajectory::from_json(const util::json::Value& value) {
+  if (!value.is_object())
+    throw std::runtime_error("trajectory: document is not a JSON object");
+  const util::json::Value* schema = value.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema) {
+    throw std::runtime_error(std::string("trajectory: expected schema \"") +
+                             kSchema + "\"");
+  }
+  const util::json::Value* point_entries = value.find("points");
+  if (point_entries == nullptr || !point_entries->is_array())
+    throw std::runtime_error("trajectory: missing \"points\" array");
+  Trajectory trajectory;
+  for (const util::json::Value& entry : point_entries->as_array()) {
+    TrajectoryPoint point;
+    const util::json::Value* label = entry.find("label");
+    if (label == nullptr || !label->is_string())
+      throw std::runtime_error("trajectory: point missing \"label\"");
+    point.label = label->as_string();
+    point.scale = number_at(entry, "scale");
+    const util::json::Value* scenarios = entry.find("scenarios");
+    if (scenarios == nullptr || !scenarios->is_object())
+      throw std::runtime_error("trajectory: point missing \"scenarios\"");
+    for (const auto& [id, scenario] : scenarios->as_object()) {
+      ScenarioPerf perf;
+      perf.total = WallStats::from_json(scenario.at("total"));
+      const util::json::Value* stages = scenario.find("stages");
+      if (stages != nullptr && stages->is_object()) {
+        for (const auto& [name, stats] : stages->as_object())
+          perf.stages.emplace(name, WallStats::from_json(stats));
+      }
+      point.scenarios.emplace(id, std::move(perf));
+    }
+    trajectory.points.push_back(std::move(point));
+  }
+  return trajectory;
+}
+
+const TrajectoryPoint* Trajectory::reference(double scale) const noexcept {
+  for (auto it = points.rbegin(); it != points.rend(); ++it)
+    if (it->scale == scale) return &*it;
+  return nullptr;
+}
+
+std::vector<GateFinding> gate_compare(const TrajectoryPoint& candidate,
+                                      const Trajectory& history,
+                                      const GateOptions& options) {
+  std::vector<GateFinding> findings;
+  const TrajectoryPoint* reference = history.reference(candidate.scale);
+  if (reference == nullptr) return findings;
+
+  const auto band = [&](const WallStats& ref, const WallStats& cand) {
+    return std::max(options.abs_slack,
+                    std::max(options.rel_tol * ref.median,
+                             options.mad_factor * (ref.mad + cand.mad)));
+  };
+  const auto compare = [&](const std::string& scenario,
+                           const std::string& stage, const WallStats& ref,
+                           const WallStats& cand) {
+    GateFinding finding;
+    finding.scenario = scenario;
+    finding.stage = stage;
+    finding.reference_median = ref.median;
+    finding.candidate_median = cand.median;
+    finding.limit = ref.median + band(ref, cand);
+    finding.regression = cand.median > finding.limit;
+    findings.push_back(std::move(finding));
+  };
+
+  for (const auto& [id, cand_perf] : candidate.scenarios) {
+    const auto ref_it = reference->scenarios.find(id);
+    if (ref_it == reference->scenarios.end()) continue;  // new scenario
+    compare(id, "", ref_it->second.total, cand_perf.total);
+    for (const auto& [stage, cand_stats] : cand_perf.stages) {
+      const auto ref_stage = ref_it->second.stages.find(stage);
+      if (ref_stage == ref_it->second.stages.end()) continue;  // new stage
+      compare(id, stage, ref_stage->second, cand_stats);
+    }
+  }
+  return findings;
+}
+
+TrajectoryPoint reduce_bench_runs(
+    const std::vector<util::json::Value>& documents, std::string label) {
+  TrajectoryPoint point;
+  point.label = std::move(label);
+  if (documents.empty())
+    throw std::runtime_error("trajectory: no BENCH documents to reduce");
+
+  // Gather per-scenario samples across the repeated runs.
+  std::map<std::string, std::vector<double>> totals;
+  std::map<std::string, std::map<std::string, std::vector<double>>> stages;
+  bool scale_seen = false;
+  for (const util::json::Value& doc : documents) {
+    const util::json::Value* id = doc.find("id");
+    if (id == nullptr || !id->is_string())
+      throw std::runtime_error("trajectory: BENCH document missing \"id\"");
+    const double scale = number_at(doc, "scale");
+    if (!scale_seen) {
+      point.scale = scale;
+      scale_seen = true;
+    } else if (scale != point.scale) {
+      throw std::runtime_error(
+          "trajectory: BENCH documents mix scales (" +
+          std::to_string(point.scale) + " vs " + std::to_string(scale) + ")");
+    }
+    totals[id->as_string()].push_back(number_at(doc, "wall_seconds"));
+    const util::json::Value* stage_entries = doc.find("stages");
+    if (stage_entries == nullptr || !stage_entries->is_array())
+      throw std::runtime_error(
+          "trajectory: BENCH document missing \"stages\" array");
+    for (const util::json::Value& stage : stage_entries->as_array()) {
+      const util::json::Value* name = stage.find("name");
+      if (name == nullptr || !name->is_string())
+        throw std::runtime_error("trajectory: stage missing \"name\"");
+      stages[id->as_string()][name->as_string()].push_back(
+          number_at(stage, "wall_seconds"));
+    }
+  }
+
+  for (auto& [id, samples] : totals) {
+    ScenarioPerf perf;
+    perf.total = WallStats::reduce(std::move(samples));
+    for (auto& [name, stage_samples] : stages[id])
+      perf.stages.emplace(name, WallStats::reduce(std::move(stage_samples)));
+    point.scenarios.emplace(id, std::move(perf));
+  }
+  return point;
+}
+
+}  // namespace p2pvod::obs

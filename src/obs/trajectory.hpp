@@ -1,0 +1,107 @@
+// Perf-trajectory history and the statistical wall-time regression gate.
+//
+// wall_seconds is diff-ignored in every BENCH baseline (machine classes
+// vary), so until now speed had no gate at all. This layer makes wall time
+// gateable without making it flaky: k repeated runs of each scenario are
+// reduced to median + MAD (robust against a one-off scheduling hiccup) plus
+// Welford mean/stddev (util::OnlineStats — the same accumulator the
+// Monte-Carlo batch-mode ROADMAP item will stream trials through), and the
+// gate compares medians with a noise band scaled by the *observed* MADs
+// rather than a fixed percentage alone:
+//
+//   regression  <=>  cand.median > ref.median
+//                       + max(abs_slack,
+//                             rel_tol * ref.median,
+//                             mad_factor * (ref.mad + cand.mad))
+//
+// A committed baselines/PERF_trajectory.json holds the history as an
+// append-only list of points (label, scale, per-scenario/per-stage
+// WallStats); the reference for a candidate is the most recent point at the
+// same scale, so smoke runs (0.25) and nightly runs (1.0) gate against
+// their own lineage. Everything here is deterministic given its input —
+// no clock reads, no randomness — so running the gate twice on identical
+// input is byte-identical; timestamps, when wanted, travel in the label.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace p2pvod::obs {
+
+/// Robust + moment reduction of k repeated wall-time samples (seconds).
+struct WallStats {
+  std::size_t runs = 0;
+  double median = 0.0;
+  double mad = 0.0;  ///< median absolute deviation from the median
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] static WallStats reduce(std::vector<double> samples);
+  [[nodiscard]] util::json::Value to_json() const;
+  [[nodiscard]] static WallStats from_json(const util::json::Value& value);
+};
+
+/// One scenario's reduced wall times: the whole run plus each named stage.
+struct ScenarioPerf {
+  WallStats total;
+  std::map<std::string, WallStats> stages;
+};
+
+/// One gate-run's worth of measurements: every scenario measured at one
+/// scale, under a human-readable label (e.g. "seed-2026-08-08", a CI run id).
+struct TrajectoryPoint {
+  std::string label;
+  double scale = 1.0;
+  std::map<std::string, ScenarioPerf> scenarios;
+};
+
+/// Append-only history of trajectory points ("p2pvod-perf-trajectory-v1").
+struct Trajectory {
+  std::vector<TrajectoryPoint> points;
+
+  [[nodiscard]] util::json::Value to_json() const;
+  [[nodiscard]] static Trajectory from_json(const util::json::Value& value);
+
+  /// Most recent point recorded at `scale` (exact match), or nullptr — a
+  /// candidate at a never-gated scale passes vacuously.
+  [[nodiscard]] const TrajectoryPoint* reference(double scale) const noexcept;
+};
+
+struct GateOptions {
+  double rel_tol = 0.25;    ///< fraction of the reference median
+  double mad_factor = 4.0;  ///< multiples of (ref.mad + cand.mad)
+  double abs_slack = 0.05;  ///< seconds; floors the band for tiny stages
+};
+
+/// One gated comparison. stage == "" means the scenario total.
+struct GateFinding {
+  std::string scenario;
+  std::string stage;
+  double reference_median = 0.0;
+  double candidate_median = 0.0;
+  double limit = 0.0;  ///< reference_median + noise band
+  bool regression = false;
+};
+
+/// Compare `candidate` against the most recent same-scale point of
+/// `history`. Returns one finding per (scenario, total-or-stage) present in
+/// both sides, ordered by (scenario, stage); scenarios or stages new to the
+/// candidate produce no finding. Empty when history has no same-scale point.
+[[nodiscard]] std::vector<GateFinding> gate_compare(
+    const TrajectoryPoint& candidate, const Trajectory& history,
+    const GateOptions& options = {});
+
+/// Reduce k repeated BENCH_<id>.json documents (any mix of scenarios; runs
+/// of the same scenario are grouped by their "id") into one trajectory
+/// point. Throws std::runtime_error on malformed documents or mixed scales —
+/// a trajectory point is only meaningful at a single scale.
+[[nodiscard]] TrajectoryPoint reduce_bench_runs(
+    const std::vector<util::json::Value>& documents, std::string label);
+
+}  // namespace p2pvod::obs

@@ -8,6 +8,8 @@
 
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "scenario/registry.hpp"
 
@@ -15,13 +17,17 @@ namespace p2pvod::scenario {
 
 namespace {
 
-/// Stops a trace session abandoned by an exception unwinding through
-/// run_scenario, so a failed scenario doesn't leave recording enabled for
-/// the rest of the process.
-struct TraceAbortGuard {
-  bool armed = false;
-  ~TraceAbortGuard() {
-    if (armed && obs::TraceSession::active()) (void)obs::TraceSession::stop();
+/// Stops recording sessions abandoned by an exception unwinding through
+/// run_scenario, so a failed scenario doesn't leave trace or time-series
+/// recording enabled for the rest of the process.
+struct ObsAbortGuard {
+  bool trace_armed = false;
+  bool series_armed = false;
+  ~ObsAbortGuard() {
+    if (trace_armed && obs::TraceSession::active())
+      (void)obs::TraceSession::stop();
+    if (series_armed && obs::RoundSeries::active())
+      (void)obs::RoundSeries::stop();
   }
 };
 
@@ -36,6 +42,14 @@ void apply_obs_env(RunOptions& options) {
       trace != nullptr && *trace != '\0') {
     options.trace_dir = trace;
   }
+  if (const char* profile = std::getenv("P2PVOD_PROFILE");
+      profile != nullptr && *profile != '\0') {
+    options.profile_dir = profile;
+  }
+  if (const char* series = std::getenv("P2PVOD_SERIES");
+      series != nullptr && *series != '\0') {
+    options.series_dir = series;
+  }
 }
 
 double run_scenario(const Scenario& scenario,
@@ -45,10 +59,15 @@ double run_scenario(const Scenario& scenario,
   emitter.banner();
 
   const bool tracing = !options.trace_dir.empty();
-  TraceAbortGuard trace_guard;
-  if (tracing) {
+  const bool profiling = !options.profile_dir.empty();
+  ObsAbortGuard obs_guard;
+  if (tracing || profiling) {
     obs::TraceSession::start();
-    trace_guard.armed = true;
+    obs_guard.trace_armed = true;
+  }
+  if (!options.series_dir.empty()) {
+    obs::RoundSeries::start();
+    obs_guard.series_armed = true;
   }
   std::optional<obs::MetricsSnapshot> metrics_before;
   if (options.collect_metrics)
@@ -78,16 +97,41 @@ double run_scenario(const Scenario& scenario,
         obs::MetricsRegistry::global().snapshot().delta_since(*metrics_before);
   }
   const double elapsed = timer.seconds();
-  if (tracing) {
-    trace_guard.armed = false;
-    const std::string path =
-        options.trace_dir + "/TRACE_" + scenario.id + ".json";
+  if (obs_guard.series_armed) {
+    obs_guard.series_armed = false;
     try {
-      obs::TraceSession::stop_to_file(path);
-      emitter.text("[trace] " + path + "\n");
+      obs::RoundSeries::stop_to_files(options.series_dir, scenario.id);
+      // Artifact notices for profile/series go to stderr so stdout (tables,
+      // BENCH docs) stays byte-identical with and without them.
+      std::cerr << "[series] " << options.series_dir << "/SERIES_"
+                << scenario.id << ".csv\n";
     } catch (const std::exception& error) {
-      // Trace output is diagnostics, not results: report and carry on.
-      std::cerr << "[trace] failed: " << error.what() << "\n";
+      std::cerr << "[series] failed: " << error.what() << "\n";
+    }
+  }
+  if (tracing || profiling) {
+    obs_guard.trace_armed = false;
+    const std::vector<obs::TraceEvent> events = obs::TraceSession::stop();
+    if (tracing) {
+      const std::string path =
+          options.trace_dir + "/TRACE_" + scenario.id + ".json";
+      try {
+        obs::TraceSession::write_file(path, events);
+        emitter.text("[trace] " + path + "\n");
+      } catch (const std::exception& error) {
+        // Trace output is diagnostics, not results: report and carry on.
+        std::cerr << "[trace] failed: " << error.what() << "\n";
+      }
+    }
+    if (profiling) {
+      try {
+        obs::Profile::from_events(events).write_files(options.profile_dir,
+                                                      scenario.id);
+        std::cerr << "[profile] " << options.profile_dir << "/PROFILE_"
+                  << scenario.id << ".json\n";
+      } catch (const std::exception& error) {
+        std::cerr << "[profile] failed: " << error.what() << "\n";
+      }
     }
   }
 

@@ -22,12 +22,19 @@ struct RunOptions {
   /// When non-empty, record a TraceSession for the run and write
   /// <trace_dir>/TRACE_<id>.json in Chrome trace-event format.
   std::string trace_dir;
+  /// When non-empty, aggregate the run's spans into a call-tree profile and
+  /// write <profile_dir>/PROFILE_<id>.{json,collapsed}. Shares one
+  /// TraceSession with trace_dir when both are set.
+  std::string profile_dir;
+  /// When non-empty, record per-round metric deltas (obs::RoundSeries) and
+  /// write <series_dir>/SERIES_<id>.{csv,json}.
+  std::string series_dir;
 };
 
 /// Apply the observability environment knobs to `options`: P2PVOD_METRICS
-/// (set and != "0" enables collect_metrics) and P2PVOD_TRACE (a directory
-/// path; enables tracing into it). Command-line flags should be applied
-/// after this so they win over the environment.
+/// (set and != "0" enables collect_metrics), and the artifact directories
+/// P2PVOD_TRACE / P2PVOD_PROFILE / P2PVOD_SERIES. Command-line flags should
+/// be applied after this so they win over the environment.
 void apply_obs_env(RunOptions& options);
 
 /// Run one scenario: banner event, plan(), each stage on the SweepRunner,

@@ -7,6 +7,7 @@
 
 #include "flow/verify.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "workload/demand.hpp"
@@ -49,6 +50,32 @@ SimCounters& sim_counters() {
       registry.counter("sim/link_cap_rejections"),
       registry.counter("sim/link_cap_rescues"),
       registry.histogram("sim/round_active_requests", obs::pow2_bounds(16)),
+  };
+  return *counters;
+}
+
+/// Sparse-path work counters, mirrored once per round from the engine's
+/// cumulative SparseStats (as deltas) so the E16 scale ladder shows up in
+/// --metrics output like the dense path does. kStable for the same reason
+/// as SimCounters: each trial's round loop is sequential and seed-determined.
+struct SparseCounters {
+  obs::Counter& rows_built;
+  obs::Counter& row_patches;
+  obs::Counter& full_rebuilds;
+  obs::Counter& expiry_events;
+  obs::Counter& kept_connections;
+  obs::Counter& new_connections;
+};
+
+SparseCounters& sparse_counters() {
+  auto& registry = obs::MetricsRegistry::global();
+  static auto* counters = new SparseCounters{
+      registry.counter("sim/sparse_rows_built"),
+      registry.counter("sim/sparse_row_patches"),
+      registry.counter("sim/sparse_full_rebuilds"),
+      registry.counter("sim/sparse_expiry_events"),
+      registry.counter("sim/sparse_kept_connections"),
+      registry.counter("sim/sparse_new_connections"),
   };
   return *counters;
 }
@@ -329,6 +356,18 @@ std::uint32_t Simulator::solve_round_sparse() {
   report_.rows_built = stats.rows_built;
   report_.row_patches = stats.row_patches;
   report_.sparse_full_rebuilds = stats.full_rebuilds;
+  SparseCounters& mirrored = sparse_counters();
+  mirrored.rows_built.add(stats.rows_built - sparse_reported_.rows_built);
+  mirrored.row_patches.add(stats.row_patches - sparse_reported_.row_patches);
+  mirrored.full_rebuilds.add(stats.full_rebuilds -
+                             sparse_reported_.full_rebuilds);
+  mirrored.expiry_events.add(stats.expiry_events -
+                             sparse_reported_.expiry_events);
+  mirrored.kept_connections.add(stats.kept_connections -
+                                sparse_reported_.kept_connections);
+  mirrored.new_connections.add(stats.new_connections -
+                               sparse_reported_.new_connections);
+  sparse_reported_ = stats;
 
   if (options_.verify_incremental) {
     // Reconstruct the round's dense problem from ground truth and validate
@@ -603,6 +642,10 @@ void Simulator::step(const std::vector<Demand>& demands) {
 
   // 7. Retire requests whose final chunk was delivered.
   if (!(stalled_ && options_.strict)) retire_completed();
+
+  // End-of-round time-series sample (one relaxed load when disabled). The
+  // label is the round just simulated.
+  if (obs::RoundSeries::active()) obs::RoundSeries::tick(now_);
 
   report_.peak_swarm = swarms_.peak_size();
   ++now_;

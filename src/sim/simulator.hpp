@@ -198,6 +198,9 @@ class Simulator {
   flow::IncrementalMatcher matcher_;
   /// Persistent CSR adjacency + matching; null on the dense engine.
   std::unique_ptr<SparseRoundState> sparse_;
+  /// SparseStats values already mirrored into the obs counters; the stats
+  /// are cumulative per state, so each round adds only the delta.
+  SparseStats sparse_reported_;
 
   std::vector<Session> sessions_;
   std::vector<model::Round> busy_until_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace p2pvod::sim {
 
 SparseRoundState::SparseRoundState(std::uint32_t box_count,
@@ -64,6 +66,7 @@ void SparseRoundState::remove_request(std::uint32_t slot) {
 
 void SparseRoundState::on_grant(model::StripeId stripe, model::BoxId box,
                                 model::Round entry, model::Round now) {
+  OBS_SPAN("sim/sparse_grant_patch");
   if (stripe >= slots_of_stripe_.size())
     throw std::out_of_range("SparseRoundState::on_grant");
   const model::Round expires = entry + window_ + 1;
@@ -82,6 +85,7 @@ void SparseRoundState::on_grant(model::StripeId stripe, model::BoxId box,
 void SparseRoundState::on_box_offline(model::BoxId box,
                                       std::span<const model::StripeId> stored,
                                       std::span<const model::StripeId> cached) {
+  OBS_SPAN("sim/sparse_churn_patch");
   // Invalidate every pending expiry of the box's (now destroyed) cache
   // entries; their sources are removed wholesale right here.
   ++box_epoch_.at(box);
@@ -102,6 +106,7 @@ void SparseRoundState::on_box_offline(model::BoxId box,
 
 void SparseRoundState::on_box_online(model::BoxId box,
                                      std::span<const model::StripeId> stored) {
+  OBS_SPAN("sim/sparse_churn_patch");
   for (const model::StripeId stripe : stored) {
     for (const std::uint32_t slot : slots_of_stripe_.at(stripe)) {
       const Slot& s = slots_[slot];
@@ -167,37 +172,44 @@ std::uint32_t SparseRoundState::solve(model::Round now,
                                       const std::vector<std::uint32_t>& capacity,
                                       const RowCollector& collect) {
   ++stats_.rounds;
-  process_expiries(now);
+  {
+    OBS_SPAN("sim/sparse_expiry");
+    process_expiries(now);
+  }
 
-  // Fallback: past the threshold, patch bookkeeping costs more than honest
-  // collection — rebuild everything. (Equality keeps the all-new first
-  // round counted as a plain rebuild of each row, not a "fallback".)
-  if (live_count_ > 0 &&
-      static_cast<double>(dirty_count_) >
-          rebuild_fraction_ * static_cast<double>(live_count_) &&
-      dirty_count_ < live_count_) {
-    ++stats_.full_rebuilds;
-    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
-      if (slots_[slot].live) mark_dirty(slot);
+  {
+    OBS_SPAN("sim/sparse_rebuild");
+    // Fallback: past the threshold, patch bookkeeping costs more than honest
+    // collection — rebuild everything. (Equality keeps the all-new first
+    // round counted as a plain rebuild of each row, not a "fallback".)
+    if (live_count_ > 0 &&
+        static_cast<double>(dirty_count_) >
+            rebuild_fraction_ * static_cast<double>(live_count_) &&
+        dirty_count_ < live_count_) {
+      ++stats_.full_rebuilds;
+      for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+        if (slots_[slot].live) mark_dirty(slot);
+      }
     }
-  }
 
-  // Rebuild in ascending slot order: determinism does not depend on the
-  // arrival order of dirty marks.
-  std::sort(dirty_slots_.begin(), dirty_slots_.end());
-  for (const std::uint32_t slot : dirty_slots_) {
-    Slot& s = slots_[slot];
-    if (!s.dirty) continue;  // duplicate queue entry
-    s.dirty = false;
-    if (!s.live) continue;  // retired while dirty; row already cleared
-    rebuild_row(slot, collect);
+    // Rebuild in ascending slot order: determinism does not depend on the
+    // arrival order of dirty marks.
+    std::sort(dirty_slots_.begin(), dirty_slots_.end());
+    for (const std::uint32_t slot : dirty_slots_) {
+      Slot& s = slots_[slot];
+      if (!s.dirty) continue;  // duplicate queue entry
+      s.dirty = false;
+      if (!s.live) continue;  // retired while dirty; row already cleared
+      rebuild_row(slot, collect);
+    }
+    dirty_slots_.clear();
+    dirty_count_ = 0;
   }
-  dirty_slots_.clear();
-  dirty_count_ = 0;
 
   // Matching repair: everything still assigned is kept; only unmatched
   // slots seed augmenting paths. One exhaustive pass from a valid partial
   // matching yields a maximum matching.
+  OBS_SPAN("sim/sparse_augment");
   std::uint32_t served = 0;
   for (std::uint32_t slot = 0;
        slot < static_cast<std::uint32_t>(slots_.size()); ++slot) {

@@ -109,6 +109,14 @@ TEST(LintWallClock, OnlyTheObsClockTuIsExempt) {
       lint::lint_source("src/obs/trace.cpp", source, config).empty());
   EXPECT_FALSE(
       lint::lint_source("src/obs/metrics.cpp", source, config).empty());
+  // The PR 9 analysis TUs consume timestamps only via obs/clock and
+  // TraceEvent fields; a direct chrono read there must stay flagged.
+  EXPECT_FALSE(
+      lint::lint_source("src/obs/profile.cpp", source, config).empty());
+  EXPECT_FALSE(
+      lint::lint_source("src/obs/timeseries.cpp", source, config).empty());
+  EXPECT_FALSE(
+      lint::lint_source("src/obs/trajectory.cpp", source, config).empty());
   EXPECT_FALSE(
       lint::lint_source("src/sweep/sweep_result.cpp", source, config).empty());
   EXPECT_FALSE(

@@ -2,14 +2,20 @@
 //
 //   p2pvod_trace_check TRACE_x.json [TRACE_y.json ...]
 //   p2pvod_trace_check --bench BENCH_x.json [BENCH_y.json ...]
+//   p2pvod_trace_check --profile PROFILE_x.json [...]
+//   p2pvod_trace_check --trajectory PERF_trajectory.json [...]
 //
 // Default mode checks Chrome trace-event files: the document must be an
 // object with a "traceEvents" array whose entries each carry name/ph/ts/
 // pid/tid (and dur for complete 'X' events). --bench mode checks BENCH
 // result documents for a non-empty top-level "metrics" object whose entries
-// each carry kind/stability. Exit 0 when every file passes, 1 otherwise —
-// CI's obs smoke step runs this after a traced scenario run so a formatting
-// regression fails the build rather than producing files Perfetto rejects.
+// each carry kind/stability. --profile checks "p2pvod-profile-v1" call-tree
+// documents (schema/unit header, per-thread span trees with consistent
+// count/total/self fields). --trajectory checks "p2pvod-perf-trajectory-v1"
+// histories (points with label/scale and per-scenario WallStats). Exit 0
+// when every file passes, 1 otherwise — CI's obs steps run this after each
+// artifact-producing run so a formatting regression fails the build rather
+// than producing files Perfetto (or the perf gate) rejects.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -93,19 +99,184 @@ int check_bench_metrics(const std::string& path, const Value& doc) {
   return errors;
 }
 
+/// Recursive node check for --profile mode; `where` names the path for
+/// error messages.
+void check_profile_node(const std::string& path, const Value& node,
+                        const std::string& where, int& errors) {
+  const auto fail = [&](const std::string& message) {
+    std::cerr << path << ": " << message << "\n";
+    ++errors;
+  };
+  if (!node.is_object()) {
+    fail(where + " is not an object");
+    return;
+  }
+  const Value* name = node.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty())
+    fail(where + " missing non-empty \"name\"");
+  for (const char* key :
+       {"count", "total_ns", "self_ns", "p50_ns", "p95_ns", "p99_ns"}) {
+    const Value* field = node.find(key);
+    if (field == nullptr || !field->is_number())
+      fail(where + " missing number \"" + key + "\"");
+  }
+  const Value* total = node.find("total_ns");
+  const Value* self = node.find("self_ns");
+  if (total != nullptr && self != nullptr && total->is_number() &&
+      self->is_number() && self->as_number() > total->as_number())
+    fail(where + " self_ns exceeds total_ns");
+  const Value* children = node.find("children");
+  if (children == nullptr || !children->is_array()) {
+    fail(where + " missing \"children\" array");
+    return;
+  }
+  std::size_t index = 0;
+  for (const Value& child : children->as_array())
+    check_profile_node(path, child,
+                       where + ".children[" + std::to_string(index++) + "]",
+                       errors);
+}
+
+int check_profile(const std::string& path, const Value& doc) {
+  int errors = 0;
+  const auto fail = [&](const std::string& message) {
+    std::cerr << path << ": " << message << "\n";
+    ++errors;
+  };
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "p2pvod-profile-v1") {
+    fail("missing schema \"p2pvod-profile-v1\"");
+    return errors;
+  }
+  const Value* unit = doc.find("unit");
+  if (unit == nullptr || !unit->is_string() || unit->as_string() != "ns")
+    fail("missing \"unit\": \"ns\"");
+  const Value* span_count = doc.find("span_count");
+  if (span_count == nullptr || !span_count->is_number())
+    fail("missing number \"span_count\"");
+  const Value* threads = doc.find("threads");
+  if (threads == nullptr || !threads->is_array()) {
+    fail("missing \"threads\" array");
+    return errors;
+  }
+  std::size_t index = 0;
+  for (const Value& thread : threads->as_array()) {
+    const std::string where = "threads[" + std::to_string(index++) + "]";
+    if (!thread.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    const Value* tid = thread.find("tid");
+    if (tid == nullptr || !tid->is_number())
+      fail(where + " missing number \"tid\"");
+    const Value* spans = thread.find("spans");
+    if (spans == nullptr || !spans->is_array()) {
+      fail(where + " missing \"spans\" array");
+      continue;
+    }
+    std::size_t span_index = 0;
+    for (const Value& span : spans->as_array())
+      check_profile_node(
+          path, span, where + ".spans[" + std::to_string(span_index++) + "]",
+          errors);
+  }
+  return errors;
+}
+
+int check_trajectory(const std::string& path, const Value& doc) {
+  int errors = 0;
+  const auto fail = [&](const std::string& message) {
+    std::cerr << path << ": " << message << "\n";
+    ++errors;
+  };
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "p2pvod-perf-trajectory-v1") {
+    fail("missing schema \"p2pvod-perf-trajectory-v1\"");
+    return errors;
+  }
+  const Value* points = doc.find("points");
+  if (points == nullptr || !points->is_array()) {
+    fail("missing \"points\" array");
+    return errors;
+  }
+  const auto check_stats = [&](const Value& stats, const std::string& where) {
+    if (!stats.is_object()) {
+      fail(where + " is not an object");
+      return;
+    }
+    for (const char* key :
+         {"runs", "median", "mad", "mean", "stddev", "min", "max"}) {
+      const Value* field = stats.find(key);
+      if (field == nullptr || !field->is_number())
+        fail(where + " missing number \"" + key + "\"");
+    }
+  };
+  std::size_t index = 0;
+  for (const Value& point : points->as_array()) {
+    const std::string where = "points[" + std::to_string(index++) + "]";
+    if (!point.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    const Value* label = point.find("label");
+    if (label == nullptr || !label->is_string())
+      fail(where + " missing string \"label\"");
+    const Value* scale = point.find("scale");
+    if (scale == nullptr || !scale->is_number())
+      fail(where + " missing number \"scale\"");
+    const Value* scenarios = point.find("scenarios");
+    if (scenarios == nullptr || !scenarios->is_object()) {
+      fail(where + " missing \"scenarios\" object");
+      continue;
+    }
+    for (const auto& [id, scenario] : scenarios->as_object()) {
+      const std::string sw = where + ".scenarios." + id;
+      if (!scenario.is_object()) {
+        fail(sw + " is not an object");
+        continue;
+      }
+      const Value* total = scenario.find("total");
+      if (total == nullptr) {
+        fail(sw + " missing \"total\"");
+      } else {
+        check_stats(*total, sw + ".total");
+      }
+      const Value* stages = scenario.find("stages");
+      if (stages == nullptr || !stages->is_object()) {
+        fail(sw + " missing \"stages\" object");
+        continue;
+      }
+      for (const auto& [stage, stats] : stages->as_object())
+        check_stats(stats, sw + ".stages." + stage);
+    }
+  }
+  return errors;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool bench_mode = false;
+  enum class Mode { kTrace, kBench, kProfile, kTrajectory };
+  Mode mode = Mode::kTrace;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--bench") {
-      bench_mode = true;
+      mode = Mode::kBench;
+    } else if (arg == "--profile") {
+      mode = Mode::kProfile;
+    } else if (arg == "--trajectory") {
+      mode = Mode::kTrajectory;
     } else if (arg == "--help") {
-      std::cout << "usage: p2pvod_trace_check [--bench] <file.json>...\n"
-                   "  default: validate Chrome trace-event documents\n"
-                   "  --bench: validate the metrics block of BENCH results\n";
+      std::cout
+          << "usage: p2pvod_trace_check [--bench|--profile|--trajectory] "
+             "<file.json>...\n"
+             "  default:      validate Chrome trace-event documents\n"
+             "  --bench:      validate the metrics block of BENCH results\n"
+             "  --profile:    validate p2pvod-profile-v1 call-tree documents\n"
+             "  --trajectory: validate p2pvod-perf-trajectory-v1 histories\n";
       return 0;
     } else {
       files.push_back(arg);
@@ -120,8 +291,20 @@ int main(int argc, char** argv) {
   for (const std::string& path : files) {
     try {
       const Value doc = p2pvod::util::json::parse_file(path);
-      errors += bench_mode ? check_bench_metrics(path, doc)
-                           : check_trace(path, doc);
+      switch (mode) {
+        case Mode::kBench:
+          errors += check_bench_metrics(path, doc);
+          break;
+        case Mode::kProfile:
+          errors += check_profile(path, doc);
+          break;
+        case Mode::kTrajectory:
+          errors += check_trajectory(path, doc);
+          break;
+        case Mode::kTrace:
+          errors += check_trace(path, doc);
+          break;
+      }
     } catch (const std::exception& error) {
       std::cerr << path << ": " << error.what() << "\n";
       ++errors;
