@@ -7,7 +7,7 @@
 // Options (every --flag also reads env var P2PVOD_<FLAG>):
 //   --scale X        trial/size scale factor (exports P2PVOD_SCALE)
 //   --threads N      thread-pool size (exports P2PVOD_THREADS; 0 = all cores)
-//   --zones N        zone count for the topology scenarios E14/E15
+//   --zones N        zone count for the topology scenarios E14/E15/E17
 //                    (exports P2PVOD_ZONES)
 //   --seed S         sweep base seed (figures pin their own seeds; this only
 //                    affects scenarios that consume the derived per-point seed)
@@ -56,8 +56,8 @@ void print_usage() {
       "  --all            run every registered scenario\n"
       "  --scale X        trial/size scale factor (default: P2PVOD_SCALE or 1)\n"
       "  --threads N      thread-pool size (default: P2PVOD_THREADS or cores)\n"
-      "  --zones N        zone count for the E14/E15 topology scenarios\n"
-      "                   (default: P2PVOD_ZONES or 4)\n"
+      "  --zones N        zone count for the E14/E15/E17 topology scenarios\n"
+      "                   (default: P2PVOD_ZONES; 4 for E14/E15, 12 for E17)\n"
       "  --seed S         sweep base seed (figure scenarios pin their own)\n"
       "  --json-dir DIR   directory for BENCH_<id>.json results (default .)\n"
       "  --no-json        do not write JSON result files\n"

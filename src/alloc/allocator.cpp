@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "alloc/demand_proportional.hpp"
 #include "alloc/full_replication.hpp"
 #include "alloc/independent.hpp"
+#include "alloc/lp_greedy.hpp"
 #include "alloc/permutation.hpp"
 #include "alloc/round_robin.hpp"
+#include "alloc/zone_local.hpp"
 
 namespace p2pvod::alloc {
 
@@ -19,6 +22,12 @@ const char* scheme_name(Scheme scheme) noexcept {
       return "round-robin";
     case Scheme::kFullReplication:
       return "full-replication";
+    case Scheme::kDemandProportional:
+      return "demand-proportional";
+    case Scheme::kZoneLocalFirst:
+      return "zone-local-first";
+    case Scheme::kLpGreedy:
+      return "lp-greedy";
   }
   return "unknown";
 }
@@ -33,6 +42,12 @@ std::unique_ptr<Allocator> make_allocator(Scheme scheme) {
       return std::make_unique<RoundRobinAllocator>();
     case Scheme::kFullReplication:
       return std::make_unique<FullReplicationAllocator>();
+    case Scheme::kDemandProportional:
+      return std::make_unique<DemandProportionalAllocator>();
+    case Scheme::kZoneLocalFirst:
+      return std::make_unique<ZoneLocalFirstAllocator>();
+    case Scheme::kLpGreedy:
+      return std::make_unique<LpGreedyAllocator>();
   }
   throw std::logic_error("make_allocator: bad scheme");
 }

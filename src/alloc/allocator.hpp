@@ -5,6 +5,7 @@
 #include <string>
 
 #include "alloc/allocation.hpp"
+#include "alloc/placement.hpp"
 #include "model/capacity.hpp"
 #include "model/catalog.hpp"
 #include "util/rng.hpp"
@@ -13,10 +14,13 @@ namespace p2pvod::alloc {
 
 /// Which placement scheme to use (DESIGN.md S4).
 enum class Scheme {
-  kPermutation,      ///< §2.1 random permutation of replicas into slots
-  kIndependent,      ///< §2.1 independent box choice per replica
-  kRoundRobin,       ///< deterministic striping (test/sanity baseline)
-  kFullReplication,  ///< Push-to-Peer-style constant catalog ([22] baseline)
+  kPermutation,         ///< §2.1 random permutation of replicas into slots
+  kIndependent,         ///< §2.1 independent box choice per replica
+  kRoundRobin,          ///< deterministic striping (test/sanity baseline)
+  kFullReplication,     ///< Push-to-Peer-style constant catalog ([22])
+  kDemandProportional,  ///< replica count ∝ forecast audience (Tan–Massoulié)
+  kZoneLocalFirst,      ///< proportional counts pinned to forecast zones
+  kLpGreedy,            ///< greedy coverage maximization of F (placement.hpp)
 };
 
 [[nodiscard]] const char* scheme_name(Scheme scheme) noexcept;
@@ -31,6 +35,17 @@ class Allocator {
   [[nodiscard]] virtual Allocation allocate(
       const model::Catalog& catalog, const model::CapacityProfile& profile,
       std::uint32_t k, util::Rng& rng) const = 0;
+
+  /// Context-aware variant: demand-aware schemes read the topology and the
+  /// forecast out of `context`; context-blind schemes fall through to the
+  /// 4-argument overload (the default here), so every scheme accepts every
+  /// context.
+  [[nodiscard]] virtual Allocation allocate(
+      const model::Catalog& catalog, const model::CapacityProfile& profile,
+      std::uint32_t k, util::Rng& rng,
+      const PlacementContext& /*context*/) const {
+    return allocate(catalog, profile, k, rng);
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

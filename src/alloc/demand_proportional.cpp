@@ -1,0 +1,69 @@
+#include "alloc/demand_proportional.hpp"
+
+#include <stdexcept>
+
+namespace p2pvod::alloc {
+
+Allocation DemandProportionalAllocator::allocate(
+    const model::Catalog& catalog, const model::CapacityProfile& profile,
+    std::uint32_t k, util::Rng& rng) const {
+  return allocate(catalog, profile, k, rng, PlacementContext{});
+}
+
+Allocation DemandProportionalAllocator::allocate(
+    const model::Catalog& catalog, const model::CapacityProfile& profile,
+    std::uint32_t k, util::Rng& /*rng*/,
+    const PlacementContext& context) const {
+  if (k == 0)
+    throw std::invalid_argument("DemandProportionalAllocator: k == 0");
+  const std::uint32_t n = profile.size();
+  if (k > n) {
+    throw std::invalid_argument(
+        "DemandProportionalAllocator: k > n would duplicate a stripe within "
+        "a box");
+  }
+  if (context.topology != nullptr && context.topology->box_count() != n)
+    throw std::invalid_argument(
+        "DemandProportionalAllocator: topology/profile size mismatch");
+  const std::uint32_t c = catalog.stripes_per_video();
+  const std::uint64_t replicas =
+      static_cast<std::uint64_t>(k) * catalog.stripe_count();
+  if (replicas > profile.total_storage_slots(c)) {
+    throw std::invalid_argument(
+        "DemandProportionalAllocator: k*m*c replicas exceed d*n*c slots");
+  }
+
+  const std::vector<std::uint32_t> counts = proportional_replica_counts(
+      catalog.video_count(), k, context.demand, /*max_per_video=*/n);
+
+  std::vector<std::uint32_t> free_slots(n);
+  for (model::BoxId b = 0; b < n; ++b)
+    free_slots[b] = profile.storage_slots(b, c);
+
+  // Round-robin striping with the per-video counts; Σ counts = k·m keeps the
+  // total at (or under, when the n-cap dropped residue) the k·m·c budget.
+  std::vector<Allocation::Placement> placements;
+  placements.reserve(replicas);
+  std::uint64_t cursor = 0;
+  for (model::VideoId v = 0; v < catalog.video_count(); ++v) {
+    for (std::uint32_t index = 0; index < c; ++index) {
+      const model::StripeId s = catalog.stripe_id(v, index);
+      for (std::uint32_t j = 0; j < counts[v]; ++j) {
+        std::uint32_t probes = 0;
+        while (free_slots[cursor % n] == 0) {
+          ++cursor;
+          if (++probes > n)
+            throw std::logic_error(
+                "DemandProportionalAllocator: no free slot found");
+        }
+        const auto box = static_cast<model::BoxId>(cursor % n);
+        --free_slots[box];
+        placements.push_back({box, s});
+        ++cursor;
+      }
+    }
+  }
+  return Allocation(n, catalog.stripe_count(), std::move(placements));
+}
+
+}  // namespace p2pvod::alloc

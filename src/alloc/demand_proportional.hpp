@@ -1,0 +1,32 @@
+// Demand-proportional replication (Tan & Massoulié's proportional rule).
+//
+// The replica budget k·m is split across videos proportionally to the
+// forecast audience (largest remainder, floor 1 so every stripe stays
+// servable, cap n so no stripe needs a duplicate within one box); each
+// stripe of video v then receives its count_v replicas by deterministic
+// round-robin striping over boxes with free slots — round_robin's mechanics
+// with a per-video replica count. Context-free (empty forecast) it degrades
+// to uniform counts, i.e. the round-robin baseline.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace p2pvod::alloc {
+
+class DemandProportionalAllocator final : public Allocator {
+ public:
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k,
+                                    util::Rng& rng) const override;
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k, util::Rng& rng,
+                                    const PlacementContext& context)
+      const override;
+  [[nodiscard]] std::string name() const override {
+    return "demand-proportional";
+  }
+};
+
+}  // namespace p2pvod::alloc

@@ -1,0 +1,34 @@
+// Greedy coverage maximization of the placement objective F (placement.hpp).
+//
+// The LP whose rounding this scheme approximates maximizes
+// F(A) = Σ_{s,z} min(r_{s,z}, D_{z,v(s)}) subject to the k·m·c replica
+// budget, per-box storage slots, and one replica of a stripe per box. F is
+// monotone submodular and the constraints form a partition-style matroid, so
+// plain greedy — place the replica with the largest marginal gain until the
+// budget runs out — carries a constant-factor guarantee; the property tests
+// pin it against the exhaustive optimal_placement_objective at small n.
+// Seeds one replica per stripe first (servability floor), then spends the
+// rest of the budget by gain; zero-gain ties fall back to balanced striping
+// (fewest-replica stripe, emptiest box), so the context-free scheme stays a
+// sane uniform baseline.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace p2pvod::alloc {
+
+class LpGreedyAllocator final : public Allocator {
+ public:
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k,
+                                    util::Rng& rng) const override;
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k, util::Rng& rng,
+                                    const PlacementContext& context)
+      const override;
+  [[nodiscard]] std::string name() const override { return "lp-greedy"; }
+};
+
+}  // namespace p2pvod::alloc

@@ -1,0 +1,77 @@
+// Demand-aware placement: the context, budget split, and coverage objective
+// shared by the placement schemes of the Tan & Massoulié line
+// (demand-proportional, zone-local-first, lp-greedy) plus the exhaustive
+// exact reference the property tests pin the greedy scheme against.
+//
+// The placement objective scores an allocation by the expected demand it can
+// serve zone-locally:
+//
+//   F(A) = Σ_{stripe s, zone z} min(r_{s,z}, D_{z,v(s)})
+//
+// where r_{s,z} is the number of distinct boxes of zone z holding a replica
+// of s and D_{z,v} the expected concurrent stripe-s requests from zone z for
+// video v (the forecast demand[v] scaled by the zone's population share).
+// F is monotone submodular in the replica set: each additional local replica
+// covers at most one more unit of local demand, and covers less the more
+// replicas the zone already has. Greedy maximization therefore carries a
+// constant-factor guarantee against the optimum, which
+// optimal_placement_objective computes exhaustively at small n.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "model/capacity.hpp"
+#include "model/catalog.hpp"
+#include "net/topology.hpp"
+
+namespace p2pvod::alloc {
+
+/// What a demand-aware scheme may see beyond the catalog and the capacity
+/// profile: the zone topology replicas should respect and the per-video
+/// demand forecast. Both are optional — a null topology means "one zone" and
+/// an empty forecast means "uniform demand" — so every scheme also works
+/// context-free (and the context-blind schemes ignore the context entirely).
+struct PlacementContext {
+  /// Not owned; must outlive the allocate() call. Null = a single zone.
+  const net::Topology* topology = nullptr;
+  /// demand[v] = expected concurrent viewers of video v. Only the ratios
+  /// matter for replica counts; the absolute scale sets where lp_greedy's
+  /// coverage objective saturates (use n · demand-rate · duration · w_v for
+  /// a workload with per-round per-box demand probability and Zipf weights
+  /// w_v). Empty = uniform demand; otherwise the size must equal the
+  /// catalog's video count.
+  std::vector<double> demand;
+};
+
+/// Split the per-stripe replica budget k·videos into per-video counts
+/// proportional to the forecast (largest-remainder rounding, deterministic
+/// ties toward lower video ids), each clamped to [1, max_per_video]. The
+/// counts sum to k·videos whenever the clamps leave room; when every video
+/// sits at max_per_video the residual budget is dropped. Throws
+/// std::invalid_argument on k == 0, a forecast/video-count mismatch, or a
+/// non-positive forecast weight sum.
+[[nodiscard]] std::vector<std::uint32_t> proportional_replica_counts(
+    std::uint32_t videos, std::uint32_t k, std::span<const double> demand,
+    std::uint32_t max_per_video);
+
+/// The coverage objective F above. A null context topology scores everything
+/// in one zone; an empty forecast weighs every video equally (weight 1).
+[[nodiscard]] double placement_objective(const Allocation& allocation,
+                                         const model::Catalog& catalog,
+                                         const PlacementContext& context);
+
+/// Exhaustive maximum of F over every placement that stores at most k·m·c
+/// replicas, respects per-box storage slots, and never duplicates a stripe
+/// within a box. Exponential reference for the lp_greedy property tests;
+/// throws std::invalid_argument when the search space exceeds `max_states`
+/// leaf evaluations (default ~4M) or when the profile spans more than 20
+/// boxes (the subset enumeration is a bitmask per stripe).
+[[nodiscard]] double optimal_placement_objective(
+    const model::Catalog& catalog, const model::CapacityProfile& profile,
+    std::uint32_t k, const PlacementContext& context,
+    std::uint64_t max_states = std::uint64_t{1} << 22);
+
+}  // namespace p2pvod::alloc

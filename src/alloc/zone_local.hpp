@@ -1,0 +1,33 @@
+// Zone-local-first placement: demand-proportional counts pinned to zones.
+//
+// Per-video replica counts come from the same proportional split as
+// demand_proportional; each video's count is then quota'd across zones by
+// population share (largest remainder — the forecast-weighted zone audience
+// under the repo's per-box demand model), and each stripe fills its per-zone
+// quota on that zone's members first (per-zone round-robin cursors), spilling
+// to a global round-robin over boxes with free slots only when a zone runs
+// out of storage. Without a topology there is a single zone and the scheme
+// degrades to demand_proportional exactly.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace p2pvod::alloc {
+
+class ZoneLocalFirstAllocator final : public Allocator {
+ public:
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k,
+                                    util::Rng& rng) const override;
+  [[nodiscard]] Allocation allocate(const model::Catalog& catalog,
+                                    const model::CapacityProfile& profile,
+                                    std::uint32_t k, util::Rng& rng,
+                                    const PlacementContext& context)
+      const override;
+  [[nodiscard]] std::string name() const override {
+    return "zone-local-first";
+  }
+};
+
+}  // namespace p2pvod::alloc

@@ -55,6 +55,24 @@ void validate(const ConnectionProblem& problem, const EdgeCosts& costs) {
   }
 }
 
+void validate_groups(const ConnectionProblem& problem,
+                     const EdgeGroups& groups,
+                     const std::vector<std::uint32_t>& caps) {
+  if (groups.size() != problem.request_count())
+    throw std::invalid_argument(
+        "enforce_group_caps: groups row count != request count");
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    if (groups[r].size() != problem.candidates(r).size())
+      throw std::invalid_argument(
+          "enforce_group_caps: groups row shape != candidate set");
+    for (const std::uint32_t g : groups[r]) {
+      if (g != kUncappedGroup && g >= caps.size())
+        throw std::invalid_argument(
+            "enforce_group_caps: group id out of range");
+    }
+  }
+}
+
 bool all_zero(const EdgeCosts& costs) {
   for (const auto& row : costs) {
     for (const Cost c : row) {
@@ -230,6 +248,146 @@ MinCostResult min_cost_brute_force(const ConnectionProblem& problem,
       assignment[r] = static_cast<std::int32_t>(b);
       self(self, r + 1, served + 1, cost + costs[r][j]);
       assignment[r] = -1;
+      ++remaining[b];
+    }
+    self(self, r + 1, served, cost);
+  };
+  recurse(recurse, 0, 0, 0);  // the all-unserved leaf always updates `best`
+
+  best.match.complete = (best.match.served == requests);
+  return best;
+}
+
+GroupCapOutcome enforce_group_caps(const ConnectionProblem& problem,
+                                   const EdgeCosts& costs,
+                                   const EdgeGroups& groups,
+                                   const std::vector<std::uint32_t>& caps,
+                                   MatchResult& result) {
+  validate(problem, costs);
+  validate_groups(problem, groups, caps);
+  if (result.assignment.size() != problem.request_count())
+    throw std::invalid_argument(
+        "enforce_group_caps: result shape != request count");
+
+  std::vector<std::uint32_t> budget(caps);
+  // The candidate index of request r's assignment — groups and costs are
+  // candidate-indexed, the assignment is a box id.
+  const auto candidate_index = [&](std::uint32_t r, std::uint32_t box) {
+    const auto& candidates = problem.candidates(r);
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (candidates[j] == box) return j;
+    }
+    throw std::invalid_argument(
+        "enforce_group_caps: assigned box is not a candidate");
+  };
+
+  GroupCapOutcome outcome;
+  // Pass 1 — admission control in request order: connections beyond a
+  // group's cap are dropped and counted. Deterministic (no RNG, fixed
+  // order).
+  std::vector<std::uint32_t> rejected;
+  for (std::uint32_t r = 0; r < result.assignment.size(); ++r) {
+    const std::int32_t assigned = result.assignment[r];
+    if (assigned < 0) continue;
+    const std::uint32_t g =
+        groups[r][candidate_index(r, static_cast<std::uint32_t>(assigned))];
+    if (g == kUncappedGroup) continue;
+    std::uint32_t& left = budget[g];
+    if (left == kUncappedGroup) continue;  // unlimited budget
+    if (left == 0) {
+      result.assignment[r] = -1;
+      --result.served;
+      ++outcome.rejections;
+      rejected.push_back(r);
+    } else {
+      --left;
+    }
+  }
+
+  // Pass 2 — one greedy rescue attempt per dropped request: the cheapest
+  // candidate (ties to the lowest box id) with spare box capacity and group
+  // budget. No augmenting here; a rescue never displaces a kept connection.
+  if (!rejected.empty()) {
+    std::vector<std::uint32_t> degree =
+        result.box_degrees(problem.box_count());
+    for (const std::uint32_t r : rejected) {
+      const auto& candidates = problem.candidates(r);
+      std::int32_t best = -1;
+      std::size_t best_j = 0;
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        const std::uint32_t b = candidates[j];
+        if (degree[b] >= problem.capacity(b)) continue;
+        const std::uint32_t g = groups[r][j];
+        if (g != kUncappedGroup && budget[g] == 0) continue;
+        if (best < 0 || costs[r][j] < costs[r][best_j] ||
+            (costs[r][j] == costs[r][best_j] &&
+             b < static_cast<std::uint32_t>(best))) {
+          best = static_cast<std::int32_t>(b);
+          best_j = j;
+        }
+      }
+      if (best < 0) continue;
+      result.assignment[r] = best;
+      ++result.served;
+      ++outcome.rescues;
+      ++degree[static_cast<std::uint32_t>(best)];
+      const std::uint32_t g = groups[r][best_j];
+      if (g != kUncappedGroup && budget[g] != kUncappedGroup) --budget[g];
+    }
+  }
+  result.complete =
+      (result.served == static_cast<std::uint32_t>(result.assignment.size()));
+  return outcome;
+}
+
+MinCostResult min_cost_capped_brute_force(
+    const ConnectionProblem& problem, const EdgeCosts& costs,
+    const EdgeGroups& groups, const std::vector<std::uint32_t>& caps) {
+  validate(problem, costs);
+  validate_groups(problem, groups, caps);
+  const std::uint32_t requests = problem.request_count();
+
+  double states = 1.0;
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    states *= static_cast<double>(problem.candidates(r).size() + 1);
+    if (states > static_cast<double>(1u << 22))
+      throw std::invalid_argument(
+          "min_cost_capped_brute_force: instance too large to enumerate");
+  }
+
+  std::vector<std::uint32_t> remaining(problem.capacities());
+  std::vector<std::uint32_t> budget(caps);
+  std::vector<std::int32_t> assignment(requests, -1);
+  MinCostResult best;
+  best.match.assignment.assign(requests, -1);
+  best.total_cost = kInfCost;
+
+  // min_cost_brute_force's DFS plus a group-budget dimension: an edge in a
+  // capped group consumes one unit of that group's budget for the subtree.
+  const auto recurse = [&](const auto& self, std::uint32_t r,
+                           std::uint32_t served, Cost cost) -> void {
+    if (r == requests) {
+      if (served > best.match.served ||
+          (served == best.match.served && cost < best.total_cost)) {
+        best.match.served = served;
+        best.total_cost = cost;
+        best.match.assignment = assignment;
+      }
+      return;
+    }
+    const auto& candidates = problem.candidates(r);
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      const std::uint32_t b = candidates[j];
+      if (remaining[b] == 0) continue;
+      const std::uint32_t g = groups[r][j];
+      const bool capped = g != kUncappedGroup && budget[g] != kUncappedGroup;
+      if (capped && budget[g] == 0) continue;
+      --remaining[b];
+      if (capped) --budget[g];
+      assignment[r] = static_cast<std::int32_t>(b);
+      self(self, r + 1, served + 1, cost + costs[r][j]);
+      assignment[r] = -1;
+      if (capped) ++budget[g];
       ++remaining[b];
     }
     self(self, r + 1, served, cost);

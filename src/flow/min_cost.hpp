@@ -48,4 +48,52 @@ class MinCostMatcher {
 [[nodiscard]] MinCostResult min_cost_brute_force(
     const ConnectionProblem& problem, const EdgeCosts& costs);
 
+/// Per-edge cap groups: groups[r][j] names the shared-capacity group of the
+/// edge serving request r from candidates(r)[j] (in the simulator, the
+/// directed zone-pair link between the server's and the requester's zones).
+/// Same shape contract as EdgeCosts.
+using EdgeGroups = std::vector<std::vector<std::uint32_t>>;
+
+/// "This edge belongs to no cap group." A caps[] entry of the same value
+/// means the group exists but its budget is unlimited. Numerically equal to
+/// net::kUnlimitedLink — the simulator pins that with a static_assert so the
+/// topology's cap matrix can be passed through unchanged.
+inline constexpr std::uint32_t kUncappedGroup =
+    static_cast<std::uint32_t>(-1);
+
+/// What enforce_group_caps did to the matching. `rejections` counts pass-1
+/// admission drops — every connection over a group's cap, whether or not
+/// pass 2 later rescued it — and `rescues` counts the dropped requests pass 2
+/// re-seated, so served-by-admission-alone = result.served - rescues.
+struct GroupCapOutcome {
+  std::uint64_t rejections = 0;  ///< pass-1 drops (rescued or not)
+  std::uint64_t rescues = 0;     ///< pass-2 re-seats of dropped requests
+};
+
+/// Cap enforcement over a solved matching, in two deterministic passes:
+/// pass 1 walks requests in order and drops any connection whose group is out
+/// of budget (admission control); pass 2 gives each dropped request one
+/// greedy rescue — the cheapest candidate (ties to the lowest box id) with
+/// spare box capacity and group budget. A rescue never displaces a kept
+/// connection, so the result can fall short of the true capped optimum;
+/// min_cost_capped_brute_force is the exact reference bounding that loss.
+/// Mutates `result` (assignment/served/complete) in place. Throws
+/// std::invalid_argument on a shape mismatch, an out-of-range group id, or an
+/// assignment that is not among the request's candidates.
+GroupCapOutcome enforce_group_caps(const ConnectionProblem& problem,
+                                   const EdgeCosts& costs,
+                                   const EdgeGroups& groups,
+                                   const std::vector<std::uint32_t>& caps,
+                                   MatchResult& result);
+
+/// Exponential reference for the capped problem: the best assignment (maximum
+/// served, then minimum cost) that respects box capacities AND the group
+/// caps. Upper-bounds what admission control + rescue can serve; same ~2^22
+/// state guard as min_cost_brute_force. Exact capped matching is not a plain
+/// flow problem — routing flow through a shared group node would let a
+/// request borrow a non-candidate box — hence the exhaustive search.
+[[nodiscard]] MinCostResult min_cost_capped_brute_force(
+    const ConnectionProblem& problem, const EdgeCosts& costs,
+    const EdgeGroups& groups, const std::vector<std::uint32_t>& caps);
+
 }  // namespace p2pvod::flow

@@ -18,6 +18,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(make_crosszone_scenario());
   registry.add(make_zonecap_scenario());
   registry.add(make_scaleladder_scenario());
+  registry.add(make_placement_scenario());
 }
 
 }  // namespace p2pvod::scenario

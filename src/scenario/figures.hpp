@@ -27,8 +27,9 @@ Scenario make_churn_scenario();           // E13 — churn tolerance (extension)
 Scenario make_crosszone_scenario();       // E14 — cross-zone traffic vs u
 Scenario make_zonecap_scenario();         // E15 — threshold under link caps
 Scenario make_scaleladder_scenario();     // E16 — million-box sparse ladder
+Scenario make_placement_scenario();       // E17 — demand-aware placement
 
-/// Register all 15 builtin scenarios in figure order. Throws (via add) if
+/// Register all 16 builtin scenarios in figure order. Throws (via add) if
 /// any id is already present in `registry`.
 void register_builtin_scenarios(ScenarioRegistry& registry);
 

@@ -1,0 +1,275 @@
+// E17 (extension, not in the paper) — demand-aware replica placement vs the
+// cross-zone floor.
+//
+// E14/E15 established that a min-cost matcher pins cross-zone traffic near a
+// structural floor: the requests whose stripe has no replica in the local
+// zone at all. That floor is a *placement* property — no matcher can undo
+// it. This scenario ablates placement scheme × matching mode on the E15
+// protocol point, run at 12 zones — with zones > k a stripe cannot live in
+// every zone, so placement has to pick which zones get which content (at
+// E15's 4 zones any k=6 striping covers everything and the floor is zero
+// for every scheme): round-robin (context-blind baseline) against the three
+// demand-aware schemes (demand-proportional counts, zone-local-first
+// pinning, lp-greedy coverage maximization), each run cost-blind, min-cost,
+// and min-cost + link caps. Demand-aware placement lowers the floor itself
+// — fewer cross-zone chunks at the same u. Under link caps the picture
+// splits: demand-proportional keeps the floor low while spreading the
+// residual cross traffic over many links, but the zone-pinning schemes
+// concentrate it onto few links and stall. A second stage bounds the
+// admission+rescue heuristic's loss against the exact cap-constrained
+// matching (flow::min_cost_capped_brute_force) on small synthetic rounds.
+// Seeds 0xE1700/0xE17AA + trial; exact-gap instances 0xE17B0 + case.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/bipartite.hpp"
+#include "flow/min_cost.hpp"
+#include "scenario/figures.hpp"
+#include "scenario/figures/zones_common.hpp"
+#include "scenario/sink.hpp"
+#include "sim/report.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace p2pvod::scenario {
+
+namespace {
+
+// Axis order matters for the table layout: scheme slowest, u fastest.
+const std::vector<double> kSchemes = {0, 1, 2, 3};
+const std::vector<double> kUploads = {0.75, 1.00, 1.50, 3.00};
+constexpr std::uint32_t kCap = 3;  // E15's moderate per-link cap
+
+alloc::Scheme scheme_of(double axis) {
+  switch (static_cast<std::uint32_t>(axis)) {
+    case 0:
+      return alloc::Scheme::kRoundRobin;
+    case 1:
+      return alloc::Scheme::kDemandProportional;
+    case 2:
+      return alloc::Scheme::kZoneLocalFirst;
+    default:
+      return alloc::Scheme::kLpGreedy;
+  }
+}
+
+struct PlacementOutcome {
+  double blind = 0.0;    ///< cross-zone share, cost-blind matching
+  double mincost = 0.0;  ///< cross-zone share, min-cost matching
+  double xchunks = 0.0;  ///< mean cross-zone chunks per trial (min-cost)
+  double success = 0.0;  ///< strict success fraction under link caps
+  double rescues = 0.0;  ///< mean pass-2 rescues per trial under link caps
+};
+
+PlacementOutcome run_placement(std::uint32_t n, std::uint32_t zones,
+                               alloc::Scheme scheme, double u,
+                               std::uint32_t trials) {
+  const auto allocator = alloc::make_allocator(scheme);
+  const std::vector<double> forecast = zone_family_forecast(n);
+
+  const auto blind_topology = zone_family_topology(n, zones, 0);
+  const auto costed_topology = zone_family_topology(n, zones, 1);
+  auto capped_topology = zone_family_topology(n, zones, 1);
+  capped_topology.set_uniform_link_cap(kCap);
+
+  // All three soaks of a trial share seeds, so they see the same placement
+  // and demand sequence; only the matcher's cost/cap view differs.
+  const auto soak = [&](const net::Topology& topology, double upload,
+                        bool strict, std::uint32_t t) {
+    alloc::PlacementContext context;
+    context.topology = &topology;
+    context.demand = forecast;
+    return zone_family_soak(n, upload, topology, strict, /*rounds=*/48,
+                            0xE1700 + t, 0xE17AA + t, *allocator, context);
+  };
+
+  PlacementOutcome out;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto blind = soak(blind_topology, u, /*strict=*/false, t);
+    const auto costed = soak(costed_topology, u, /*strict=*/false, t);
+    const auto capped = soak(capped_topology, u, /*strict=*/true, t);
+    out.blind += blind.cross_zone_fraction.count() > 0
+                     ? blind.cross_zone_fraction.mean()
+                     : 0.0;
+    out.mincost += costed.cross_zone_fraction.count() > 0
+                       ? costed.cross_zone_fraction.mean()
+                       : 0.0;
+    out.xchunks += static_cast<double>(costed.cross_zone_chunks);
+    if (capped.success) out.success += 1.0;
+    out.rescues += static_cast<double>(capped.link_cap_rescues);
+  }
+  out.blind /= trials;
+  out.mincost /= trials;
+  out.xchunks /= trials;
+  out.success /= trials;
+  out.rescues /= trials;
+  return out;
+}
+
+/// One small synthetic capped round: 6 boxes in 2 zones (box b in zone b%2),
+/// every link scarce (intra capped at 2, cross at 1); candidates drawn
+/// from a seeded Rng so every case is a different shape. Returns
+/// {admission-only served, admission+rescue served, exact capped served}.
+std::vector<double> run_exact_gap(std::uint32_t index) {
+  constexpr std::uint32_t kBoxes = 6;
+  constexpr std::uint32_t kZones = 2;
+  util::Rng rng(0xE17B0 + index);
+
+  flow::ConnectionProblem problem(kBoxes);
+  for (std::uint32_t b = 0; b < kBoxes; ++b) problem.set_capacity(b, 2);
+  const auto requests =
+      static_cast<std::uint32_t>(5 + rng.next_below(3));  // 5..7
+  flow::EdgeCosts costs(requests);
+  flow::EdgeGroups groups(requests);
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    const std::uint32_t zone = r % kZones;
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t b = 0; b < kBoxes; ++b) {
+      if (rng.next_bool(0.5)) candidates.push_back(b);
+    }
+    if (candidates.empty())
+      candidates.push_back(static_cast<std::uint32_t>(rng.next_below(kBoxes)));
+    for (const std::uint32_t b : candidates) {
+      const std::uint32_t from = b % kZones;
+      costs[r].push_back(from == zone ? 0 : 1);
+      groups[r].push_back(from * kZones + zone);
+    }
+    problem.add_request(std::move(candidates));
+  }
+  // Every link is scarce: intra links capped at 2, cross links at 1. The
+  // min-cost matcher loads the free-looking intra links first, so admission
+  // drops, rescues, and a residual heuristic-vs-exact gap all show up.
+  std::vector<std::uint32_t> caps(kZones * kZones, 2);
+  caps[0 * kZones + 1] = 1;
+  caps[1 * kZones + 0] = 1;
+
+  flow::MatchResult heuristic = flow::MinCostMatcher::solve(problem, costs).match;
+  const flow::GroupCapOutcome outcome =
+      flow::enforce_group_caps(problem, costs, groups, caps, heuristic);
+  const auto exact = flow::min_cost_capped_brute_force(problem, costs, groups,
+                                                       caps);
+  return {static_cast<double>(heuristic.served - outcome.rescues),
+          static_cast<double>(heuristic.served),
+          static_cast<double>(exact.match.served)};
+}
+
+const char* scheme_label(double axis) {
+  return alloc::scheme_name(scheme_of(axis));
+}
+
+}  // namespace
+
+Scenario make_placement_scenario() {
+  Scenario scenario;
+  scenario.id = "placement";
+  scenario.figure = "E17";
+  scenario.title = "E17 / demand-aware placement figure (extension)";
+  scenario.claim = "demand-aware placement lowers the cross-zone floor";
+  scenario.plan = [] {
+    const std::uint32_t n = util::scaled_count(48, 24);
+    const std::uint32_t trials = util::scaled_count(4, 2);
+    // Placement only matters when zones outnumber k: with zones <= k = 6,
+    // round-robin's consecutive replicas already cover every zone and the
+    // floor is zero for everyone. E14/E15 run 4 zones; this figure runs 12
+    // so that context-blind striping covers only half the zones and the
+    // schemes have something to decide.
+    const std::uint32_t zones = zones_from_env(12, n);
+    const std::uint32_t gap_cases = 6;
+
+    sweep::ParameterGrid grid;
+    grid.free_axis("scheme", kSchemes).free_axis("u", kUploads);
+
+    Plan plan;
+    plan.stages.push_back(
+        {"main", std::move(grid),
+         {"blind", "mincost", "xchunks", "success", "rescues"},
+         [n, zones, trials](const sweep::GridPoint& point,
+                            std::uint64_t /*seed*/) {
+           const auto outcome = run_placement(
+               n, zones, scheme_of(point.values[0]), point.values[1], trials);
+           return std::vector<double>{outcome.blind, outcome.mincost,
+                                      outcome.xchunks, outcome.success,
+                                      outcome.rescues};
+         }});
+
+    sweep::ParameterGrid gap_grid;
+    std::vector<double> cases(gap_cases);
+    for (std::uint32_t i = 0; i < gap_cases; ++i) cases[i] = i;
+    gap_grid.free_axis("case", cases);
+    plan.stages.push_back(
+        {"exactgap", std::move(gap_grid),
+         {"admit", "heuristic", "exact"},
+         [](const sweep::GridPoint& point, std::uint64_t /*seed*/) {
+           return run_exact_gap(static_cast<std::uint32_t>(point.values[0]));
+         }});
+
+    plan.render = [n, zones, trials, gap_cases](const ScenarioRun& run,
+                                                Emitter& out) {
+      const std::size_t u_count = kUploads.size();
+
+      util::Table floor_table(
+          "cross-zone chunks under min-cost matching, n=" + std::to_string(n) +
+          ", zones=" + std::to_string(zones) + ", 48-round Zipf soak (" +
+          std::to_string(trials) + " seeds); placement sets the floor");
+      std::vector<std::string> header{"u"};
+      for (const double s : kSchemes)
+        header.push_back(scheme_label(s));
+      floor_table.set_header(header);
+      for (std::size_t ui = 0; ui < u_count; ++ui) {
+        floor_table.begin_row().cell(kUploads[ui]);
+        for (std::size_t si = 0; si < kSchemes.size(); ++si) {
+          floor_table.cell(run.stage(0).row(si * u_count + ui).metrics[2], 6);
+        }
+      }
+      out.table(floor_table, "E17_floor");
+
+      util::Table cap_table(
+          "strict success fraction with per-link cap " + std::to_string(kCap) +
+          " (same trials); spreading cross traffic beats pinning it");
+      cap_table.set_header(header);
+      for (std::size_t ui = 0; ui < u_count; ++ui) {
+        cap_table.begin_row().cell(kUploads[ui]);
+        for (std::size_t si = 0; si < kSchemes.size(); ++si) {
+          cap_table.cell(run.stage(0).row(si * u_count + ui).metrics[3], 3);
+        }
+      }
+      out.table(cap_table, "E17_capped");
+
+      util::Table gap_table(
+          "admission+rescue heuristic vs exact cap-constrained matching on " +
+          std::to_string(gap_cases) +
+          " small synthetic rounds (2 zones, intra links capped at 2, cross "
+          "at 1)");
+      gap_table.set_header({"case", "admission only", "with rescue", "exact"});
+      for (std::uint32_t i = 0; i < gap_cases; ++i) {
+        const auto& row = run.stage(1).row(i);
+        gap_table.begin_row().cell(static_cast<double>(i));
+        gap_table.cell(row.metrics[0], 0);
+        gap_table.cell(row.metrics[1], 0);
+        gap_table.cell(row.metrics[2], 0);
+      }
+      out.table(gap_table, "E17_exactgap");
+
+      out.text("\nExpected shape: with zones > k, round-robin covers only k "
+               "of the zones per\nstripe, and the popular-video requests the "
+               "other zones cannot serve locally set\na high cross-zone "
+               "floor. The demand-aware schemes give popular videos "
+               "replicas\nin (nearly) every zone and lower the floor. Under "
+               "link caps the floor is not\nthe whole story: "
+               "demand-proportional spreads its residual cross traffic "
+               "over\nmany links and keeps strict success, while the "
+               "zone-pinning schemes concentrate\ntail-video replicas into "
+               "few zones, saturate those links, and stall. The\nexact-gap "
+               "table bounds the two-pass heuristic: admission only <= with "
+               "rescue <=\nexact, and the exact column upper-bounds what any "
+               "cap-respecting matcher could\nhave served.\n");
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace p2pvod::scenario

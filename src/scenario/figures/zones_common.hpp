@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
+#include "alloc/allocator.hpp"
 #include "alloc/permutation.hpp"
 #include "model/capacity.hpp"
 #include "model/catalog.hpp"
@@ -21,9 +23,12 @@
 namespace p2pvod::scenario {
 
 /// Protocol constants shared by the zone family (E2's fixed protocol).
-inline constexpr std::uint32_t kZoneFamilyStripes = 4;   // c
-inline constexpr std::uint32_t kZoneFamilyReplicas = 6;  // k
-inline constexpr double kZoneFamilyStorage = 4.0;        // d
+inline constexpr std::uint32_t kZoneFamilyStripes = 4;    // c
+inline constexpr std::uint32_t kZoneFamilyReplicas = 6;   // k
+inline constexpr double kZoneFamilyStorage = 4.0;         // d
+inline constexpr std::uint32_t kZoneFamilyDuration = 12;  // T
+inline constexpr double kZoneFamilyZipfAlpha = 0.8;
+inline constexpr double kZoneFamilyDemandRate = 0.45;
 
 /// Catalog size m = max(1, d·n/k).
 [[nodiscard]] inline std::uint32_t zone_family_catalog(std::uint32_t n) {
@@ -53,28 +58,59 @@ inline constexpr double kZoneFamilyStorage = 4.0;        // d
   return topology;
 }
 
-/// One trial of the family's workload: T=12 catalog, homogeneous (u, d)
-/// profile, permutation allocation seeded `alloc_seed`, preloading strategy,
-/// and a 0.8-Zipf audience demanding at rate 0.45 (seeded `demand_seed`) for
-/// `rounds` rounds against `topology` (which must span n boxes). Strict runs
-/// stop at the first stall, as everywhere else.
+/// The family's demand forecast: expected concurrent viewers of video v
+/// under the workload below — n boxes demanding at rate 0.45 per round, each
+/// playback lasting T=12 rounds, popularity 0.8-Zipf. This is the forecast
+/// the demand-aware placement schemes (E17) are fed; only the ratios matter
+/// for replica counts, the absolute scale is where lp-greedy's coverage
+/// objective saturates.
+[[nodiscard]] inline std::vector<double> zone_family_forecast(
+    std::uint32_t n) {
+  const auto m = zone_family_catalog(n);
+  const workload::ZipfSampler sampler(m, kZoneFamilyZipfAlpha);
+  std::vector<double> forecast(m);
+  for (std::uint32_t v = 0; v < m; ++v) {
+    forecast[v] = static_cast<double>(n) * kZoneFamilyDemandRate *
+                  kZoneFamilyDuration * sampler.probability(v);
+  }
+  return forecast;
+}
+
+/// One trial of the family's workload with a caller-chosen placement scheme:
+/// T=12 catalog, homogeneous (u, d) profile, `allocator` placement seeded
+/// `alloc_seed` and fed `context`, preloading strategy, and a 0.8-Zipf
+/// audience demanding at rate 0.45 (seeded `demand_seed`) for `rounds`
+/// rounds against `topology` (which must span n boxes). Strict runs stop at
+/// the first stall, as everywhere else.
 [[nodiscard]] inline sim::RunReport zone_family_soak(
     std::uint32_t n, double u, const net::Topology& topology, bool strict,
-    model::Round rounds, std::uint64_t alloc_seed, std::uint64_t demand_seed) {
+    model::Round rounds, std::uint64_t alloc_seed, std::uint64_t demand_seed,
+    const alloc::Allocator& allocator,
+    const alloc::PlacementContext& context) {
   const auto m = zone_family_catalog(n);
-  const model::Catalog catalog(m, kZoneFamilyStripes, 12);
+  const model::Catalog catalog(m, kZoneFamilyStripes, kZoneFamilyDuration);
   const auto profile =
       model::CapacityProfile::homogeneous(n, u, kZoneFamilyStorage);
   util::Rng rng(alloc_seed);
-  const auto allocation = alloc::PermutationAllocator().allocate(
-      catalog, profile, kZoneFamilyReplicas, rng);
+  const auto allocation = allocator.allocate(catalog, profile,
+                                             kZoneFamilyReplicas, rng, context);
   sim::PreloadingStrategy strategy;
   sim::SimulatorOptions options;
   options.strict = strict;
   options.topology = &topology;
   sim::Simulator simulator(catalog, profile, allocation, strategy, options);
-  workload::ZipfDemand audience(m, 0.8, 0.45, demand_seed);
+  workload::ZipfDemand audience(m, kZoneFamilyZipfAlpha, kZoneFamilyDemandRate,
+                                demand_seed);
   return simulator.run(audience, rounds);
+}
+
+/// The historical E14/E15 trial: permutation placement, context-free.
+[[nodiscard]] inline sim::RunReport zone_family_soak(
+    std::uint32_t n, double u, const net::Topology& topology, bool strict,
+    model::Round rounds, std::uint64_t alloc_seed, std::uint64_t demand_seed) {
+  return zone_family_soak(n, u, topology, strict, rounds, alloc_seed,
+                          demand_seed, alloc::PermutationAllocator(),
+                          alloc::PlacementContext{});
 }
 
 }  // namespace p2pvod::scenario

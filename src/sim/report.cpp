@@ -31,6 +31,7 @@ std::string RunReport::summary() const {
     out << " crosszone=" << cross_zone_share()
         << " zone_cost=" << zone_cost_total;
     if (link_cap_rejections > 0) out << " link_rejects=" << link_cap_rejections;
+    if (link_cap_rescues > 0) out << " link_rescues=" << link_cap_rescues;
   }
   return out.str();
 }

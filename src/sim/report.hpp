@@ -49,9 +49,15 @@ struct RunReport {
   // --- topology (zone-aware matching extension; all zero without one) ---
   std::uint64_t intra_zone_chunks = 0;   ///< chunks served within a zone
   std::uint64_t cross_zone_chunks = 0;   ///< chunks served across zones
-  /// Connections dropped at a capped zone link (admission control); a dropped
-  /// request may still be rescued over another link in the same round.
+  /// Connections dropped at a capped zone link in the admission pass
+  /// (pass 1 of cap enforcement). Counts every over-cap drop, whether or not
+  /// the rescue pass re-seated the request — so rejections alone overstate
+  /// lost service; subtract link_cap_rescues for the net loss.
   std::uint64_t link_cap_rejections = 0;
+  /// Dropped requests re-seated by the greedy rescue pass (pass 2): served
+  /// over another link (or box) with spare budget in the same round. Always
+  /// <= link_cap_rejections.
+  std::uint64_t link_cap_rescues = 0;
   std::int64_t zone_cost_total = 0;      ///< Σ zone-pair costs of served chunks
   util::OnlineStats cross_zone_fraction; ///< per-round cross-zone share of served
 

@@ -33,6 +33,7 @@ struct SimCounters {
   obs::Counter& cross_zone_chunks;
   obs::Counter& link_cap_rejections;
   obs::Counter& link_cap_rescues;
+  obs::Counter& sparse_topology_downgrades;
   obs::Histogram& round_active_requests;
 };
 
@@ -49,6 +50,7 @@ SimCounters& sim_counters() {
       registry.counter("sim/cross_zone_chunks"),
       registry.counter("sim/link_cap_rejections"),
       registry.counter("sim/link_cap_rescues"),
+      registry.counter("sim/sparse_topology_downgrades"),
       registry.histogram("sim/round_active_requests", obs::pow2_bounds(16)),
   };
   return *counters;
@@ -124,15 +126,26 @@ Simulator::Simulator(const model::Catalog& catalog,
   nominal_capacity_ = capacity_slots_;
   online_.assign(profile_.size(), true);
 
-  // Sparse-engine knobs: the env overrides let any existing scenario or test
-  // be re-run on the CSR path without a code change (they never fire in CI,
-  // where the environment is fixed).
-  if (util::env_positive_long("P2PVOD_SPARSE").value_or(0) > 0)
-    options_.sparse = true;
+  // The sparse engine repairs last round's matching and is blind to costs,
+  // so it cannot honor a topology. Asking for both in code is a config
+  // error; the P2PVOD_SPARSE env override instead downgrades to dense with a
+  // counter, so re-running a scenario suite under the knob doesn't crash the
+  // zone-aware scenarios.
+  if (options_.sparse && options_.topology != nullptr)
+    throw std::invalid_argument(
+        "Simulator: sparse engine cannot honor a topology (cost-aware "
+        "matching is dense-only)");
+  if (util::env_positive_long("P2PVOD_SPARSE").value_or(0) > 0) {
+    if (options_.topology != nullptr) {
+      sim_counters().sparse_topology_downgrades.add();
+    } else {
+      options_.sparse = true;
+    }
+  }
   if (const auto pct = util::env_positive_long("P2PVOD_SPARSE_REBUILD_PCT"))
     options_.sparse_rebuild_fraction =
         static_cast<double>(std::min(*pct, 100L)) / 100.0;
-  if (options_.sparse && options_.topology == nullptr) {
+  if (options_.sparse) {
     sparse_ = std::make_unique<SparseRoundState>(
         profile_.size(), catalog_.stripe_count(), catalog_.duration(),
         options_.sparse_rebuild_fraction);
@@ -406,7 +419,7 @@ flow::MatchResult Simulator::solve_zone_aware(
   }
   flow::MatchResult result = flow::MinCostMatcher::solve(problem, costs).match;
 
-  if (topology.has_link_caps()) enforce_link_caps(problem, result);
+  if (topology.has_link_caps()) enforce_link_caps(problem, costs, result);
 
   // Per-round zone accounting over the final assignment.
   std::uint64_t intra = 0;
@@ -431,76 +444,42 @@ flow::MatchResult Simulator::solve_zone_aware(
   return result;
 }
 
+// The topology's "no cap" sentinel must be flow's "no group / unlimited
+// budget" sentinel for the cap matrix to pass through unchanged.
+static_assert(net::kUnlimitedLink == flow::kUncappedGroup,
+              "net::kUnlimitedLink and flow::kUncappedGroup must agree");
+
 void Simulator::enforce_link_caps(const flow::ConnectionProblem& problem,
+                                  const flow::EdgeCosts& costs,
                                   flow::MatchResult& result) {
   const net::Topology& topology = *options_.topology;
   const std::uint32_t zones = topology.zone_count();
-  const auto pair_of = [&](model::BoxId server, model::BoxId client) {
-    return static_cast<std::size_t>(topology.zone_of(server)) * zones +
-           topology.zone_of(client);
-  };
 
-  std::vector<std::uint32_t> budget(static_cast<std::size_t>(zones) * zones);
+  // Each candidate edge's cap group is the directed zone-pair link it would
+  // cross; the flattened link-cap matrix is the budget table.
+  flow::EdgeGroups groups(live_.size());
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    const net::ZoneId dest = topology.zone_of(live_.requester[i]);
+    const auto& candidates = problem.candidates(static_cast<std::uint32_t>(i));
+    groups[i].reserve(candidates.size());
+    for (const std::uint32_t b : candidates) {
+      groups[i].push_back(
+          static_cast<std::uint32_t>(topology.zone_of(b)) * zones + dest);
+    }
+  }
+  std::vector<std::uint32_t> caps(static_cast<std::size_t>(zones) * zones);
   for (net::ZoneId a = 0; a < zones; ++a) {
     for (net::ZoneId b = 0; b < zones; ++b) {
-      budget[static_cast<std::size_t>(a) * zones + b] = topology.link_cap(a, b);
+      caps[static_cast<std::size_t>(a) * zones + b] = topology.link_cap(a, b);
     }
   }
 
-  // Pass 1 — admission control in request order: connections beyond a link's
-  // cap are dropped and counted. Deterministic (no RNG, fixed order).
-  std::vector<std::uint32_t> rejected;
-  for (std::uint32_t r = 0; r < result.assignment.size(); ++r) {
-    const std::int32_t assigned = result.assignment[r];
-    if (assigned < 0) continue;
-    std::uint32_t& left =
-        budget[pair_of(static_cast<model::BoxId>(assigned),
-                       live_.requester[r])];
-    if (left == net::kUnlimitedLink) continue;
-    if (left == 0) {
-      result.assignment[r] = -1;
-      --result.served;
-      ++report_.link_cap_rejections;
-      sim_counters().link_cap_rejections.add();
-      rejected.push_back(r);
-    } else {
-      --left;
-    }
-  }
-
-  // Pass 2 — one greedy rescue attempt per dropped request: the cheapest
-  // candidate (ties to the lowest box id) with spare upload slots and link
-  // budget. No augmenting here; a rescue never displaces a kept connection.
-  if (!rejected.empty()) {
-    std::vector<std::uint32_t> degree =
-        result.box_degrees(problem.box_count());
-    for (const std::uint32_t r : rejected) {
-      const auto& candidates = problem.candidates(r);
-      std::int32_t best = -1;
-      net::Cost best_cost = 0;
-      for (const std::uint32_t b : candidates) {
-        if (degree[b] >= problem.capacity(b)) continue;
-        const std::size_t pair = pair_of(b, live_.requester[r]);
-        if (budget[pair] == 0) continue;  // kUnlimitedLink is never 0
-        const net::Cost cost = topology.box_cost(b, live_.requester[r]);
-        if (best < 0 || cost < best_cost ||
-            (cost == best_cost && b < static_cast<std::uint32_t>(best))) {
-          best = static_cast<std::int32_t>(b);
-          best_cost = cost;
-        }
-      }
-      if (best < 0) continue;
-      result.assignment[r] = best;
-      ++result.served;
-      sim_counters().link_cap_rescues.add();
-      ++degree[static_cast<std::uint32_t>(best)];
-      std::uint32_t& left = budget[pair_of(static_cast<model::BoxId>(best),
-                                           live_.requester[r])];
-      if (left != net::kUnlimitedLink) --left;
-    }
-  }
-  result.complete =
-      (result.served == static_cast<std::uint32_t>(result.assignment.size()));
+  const flow::GroupCapOutcome outcome =
+      flow::enforce_group_caps(problem, costs, groups, caps, result);
+  report_.link_cap_rejections += outcome.rejections;
+  report_.link_cap_rescues += outcome.rescues;
+  sim_counters().link_cap_rejections.add(outcome.rejections);
+  sim_counters().link_cap_rescues.add(outcome.rescues);
 }
 
 void Simulator::retire_completed() {

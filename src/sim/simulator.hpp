@@ -75,9 +75,11 @@ struct SimulatorOptions {
   /// repair last round's matching from the unmatched slots only. Serves
   /// exactly as many requests as the dense solve (both are maximum
   /// matchings; verify_incremental cross-checks the assignment itself);
-  /// connection-level assignments may differ. Superseded by `topology` —
-  /// cost-aware matching is not incremental. Env: P2PVOD_SPARSE=1 forces it
-  /// on for any run.
+  /// connection-level assignments may differ. Incompatible with `topology` —
+  /// cost-aware matching is dense-only, and asking for both throws
+  /// std::invalid_argument. Env: P2PVOD_SPARSE=1 forces it on for any run
+  /// without a topology; zone-aware runs stay dense and count the downgrade
+  /// (sim/sparse_topology_downgrades).
   bool sparse = false;
   /// Dirty-row fraction above which the sparse path rebuilds every row from
   /// ground truth instead of patching (patch bookkeeping stops paying once
@@ -179,7 +181,12 @@ class Simulator {
   /// solve, link-cap admission control, cross-zone accounting.
   [[nodiscard]] flow::MatchResult solve_zone_aware(
       const flow::ConnectionProblem& problem);
+  /// Link-cap enforcement: maps each candidate edge to its directed
+  /// zone-pair group and delegates to flow::enforce_group_caps (pass-1
+  /// admission drops are RunReport::link_cap_rejections, pass-2 re-seats are
+  /// link_cap_rescues). `costs` is the same matrix the min-cost solve used.
   void enforce_link_caps(const flow::ConnectionProblem& problem,
+                         const flow::EdgeCosts& costs,
                          flow::MatchResult& result);
   void retire_completed();
   void abort_session(SessionId id);

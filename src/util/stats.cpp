@@ -19,6 +19,11 @@ void OnlineStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+  // Neumaier summation: the compensation catches the low-order bits whether
+  // the running total or the addend is the larger magnitude.
+  const double t = sum_ + x;
+  comp_ += std::abs(sum_) >= std::abs(x) ? (sum_ - t) + x : (x - t) + sum_;
+  sum_ = t;
 }
 
 void OnlineStats::merge(const OnlineStats& other) noexcept {
@@ -36,6 +41,10 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  const double x = other.sum_ + other.comp_;
+  const double t = sum_ + x;
+  comp_ += std::abs(sum_) >= std::abs(x) ? (sum_ - t) + x : (x - t) + sum_;
+  sum_ = t;
 }
 
 double OnlineStats::variance() const noexcept {

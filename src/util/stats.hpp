@@ -25,7 +25,10 @@ class OnlineStats {
   [[nodiscard]] double stderr_mean() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
-  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  /// Exact running total (Neumaier-compensated), not mean·count — the
+  /// Welford mean carries per-sample rounding that a reconstructed sum
+  /// amplifies by count under catastrophic cancellation.
+  [[nodiscard]] double sum() const noexcept { return sum_ + comp_; }
 
   /// Half-width of an approximate 95% confidence interval on the mean
   /// (normal approximation; fine for the trial counts we run).
@@ -37,6 +40,8 @@ class OnlineStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double sum_ = 0.0;   ///< compensated running total
+  double comp_ = 0.0;  ///< Neumaier compensation term for sum_
 };
 
 /// Exact quantile of a sample (linear interpolation between order statistics).

@@ -543,3 +543,207 @@ TEST(MinCostBruteForce, RejectsHugeInstances) {
   EXPECT_THROW((void)f::min_cost_brute_force(p, costs),
                std::invalid_argument);
 }
+
+// ---------------------------------------------------------------- group caps
+
+namespace {
+
+/// Zone-style groups over a random problem: box b lives in zone b % zones,
+/// request r in zone r % zones, and an edge's group is the directed zone
+/// pair. Mirrors how the simulator maps link caps onto enforce_group_caps.
+f::EdgeGroups zone_groups(const f::ConnectionProblem& problem,
+                          std::uint32_t zones) {
+  f::EdgeGroups groups(problem.request_count());
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    for (const std::uint32_t b : problem.candidates(r)) {
+      groups[r].push_back((b % zones) * zones + (r % zones));
+    }
+  }
+  return groups;
+}
+
+/// Count each group's usage under an assignment and check it against caps.
+void check_group_budgets(const f::ConnectionProblem& problem,
+                         const f::EdgeGroups& groups,
+                         const std::vector<std::uint32_t>& caps,
+                         const std::vector<std::int32_t>& assignment) {
+  std::vector<std::uint32_t> used(caps.size(), 0);
+  for (std::uint32_t r = 0; r < problem.request_count(); ++r) {
+    if (assignment[r] < 0) continue;
+    const auto& cands = problem.candidates(r);
+    const auto it = std::find(cands.begin(), cands.end(),
+                              static_cast<std::uint32_t>(assignment[r]));
+    ASSERT_NE(it, cands.end());
+    const std::uint32_t g =
+        groups[r][static_cast<std::size_t>(it - cands.begin())];
+    if (g != f::kUncappedGroup) ++used[g];
+  }
+  for (std::size_t g = 0; g < caps.size(); ++g) {
+    if (caps[g] != f::kUncappedGroup) ASSERT_LE(used[g], caps[g]);
+  }
+}
+
+}  // namespace
+
+TEST(GroupCaps, AdmissionDropsOverCapThenRescues) {
+  // Both requests matched onto box 0 (zone 0) from zone-0 requests is fine;
+  // cap the 0->0 link at 1 and the second connection must be dropped, then
+  // rescued onto box 1 over the uncapped 1->0 link.
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 2);
+  p.set_capacity(1, 2);
+  p.add_request({0, 1});
+  p.add_request({0, 1});
+  const f::EdgeCosts costs{{0, 1}, {0, 1}};
+  const f::EdgeGroups groups{{0, 1}, {0, 1}};
+  const std::vector<std::uint32_t> caps{1, f::kUncappedGroup};
+
+  auto result = f::MinCostMatcher::solve(p, costs).match;
+  ASSERT_EQ(result.served, 2u);
+  ASSERT_EQ(result.assignment[0], 0);
+  ASSERT_EQ(result.assignment[1], 0);
+
+  const auto outcome = f::enforce_group_caps(p, costs, groups, caps, result);
+  EXPECT_EQ(outcome.rejections, 1u);
+  EXPECT_EQ(outcome.rescues, 1u);
+  EXPECT_EQ(result.served, 2u);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 1);  // rescued over the uncapped group
+}
+
+TEST(GroupCaps, RescueRespectsBoxCapacity) {
+  // The only alternative server has no spare upload slot: the dropped
+  // request must stay unserved, never overloading the box.
+  f::ConnectionProblem p(2);
+  p.set_capacity(0, 2);
+  p.set_capacity(1, 1);
+  p.add_request({0, 1});
+  p.add_request({0, 1});
+  p.add_request({1});
+  const f::EdgeCosts costs{{0, 0}, {0, 0}, {0}};
+  const f::EdgeGroups groups{{0, 1}, {0, 1}, {1}};
+  const std::vector<std::uint32_t> caps{1, f::kUncappedGroup};
+
+  auto result = f::MinCostMatcher::solve(p, costs).match;
+  ASSERT_EQ(result.served, 3u);
+  const auto outcome = f::enforce_group_caps(p, costs, groups, caps, result);
+  // Request 2 pins box 1, so requests 0 and 1 both sat on box 0's capped
+  // group and the second was dropped. Its rescue candidates: box 0 is out of
+  // group budget, box 1 out of upload slots -> it stays unserved.
+  EXPECT_EQ(outcome.rejections, 1u);
+  EXPECT_EQ(outcome.rescues, 0u);
+  EXPECT_EQ(result.served, 2u);
+  const auto degrees = result.box_degrees(2);
+  EXPECT_LE(degrees[0], 2u);
+  EXPECT_LE(degrees[1], 1u);
+}
+
+TEST(GroupCaps, UnlimitedBudgetAndUncappedEdgesNeverDrop) {
+  // A caps[] entry of kUncappedGroup means unlimited budget; a groups[][j]
+  // entry of kUncappedGroup means the edge is outside every group. Neither
+  // may ever reject, no matter how much load they carry.
+  f::ConnectionProblem p(1);
+  p.set_capacity(0, 8);
+  f::EdgeCosts costs;
+  f::EdgeGroups groups;
+  for (int r = 0; r < 8; ++r) {
+    p.add_request({0});
+    costs.push_back({0});
+    groups.push_back({r % 2 == 0 ? 0u : f::kUncappedGroup});
+  }
+  const std::vector<std::uint32_t> caps{f::kUncappedGroup};
+  auto result = p.solve(f::Engine::kDinic);
+  ASSERT_EQ(result.served, 8u);
+  const auto outcome = f::enforce_group_caps(p, costs, groups, caps, result);
+  EXPECT_EQ(outcome.rejections, 0u);
+  EXPECT_EQ(outcome.rescues, 0u);
+  EXPECT_EQ(result.served, 8u);
+}
+
+TEST(GroupCaps, RescuePicksCheapestThenLowestBox) {
+  f::ConnectionProblem p(3);
+  p.set_capacity(0, 2);  // room for both, so min-cost parks both on box 0
+  p.set_capacity(1, 1);
+  p.set_capacity(2, 1);
+  p.add_request({0});
+  p.add_request({0, 1, 2});
+  // Both on the capped group through box 0 -> request 1 dropped; boxes 1 and
+  // 2 tie on cost, the lower id must win.
+  const f::EdgeCosts costs{{0}, {0, 3, 3}};
+  const f::EdgeGroups groups{{0}, {0, 1, 1}};
+  const std::vector<std::uint32_t> caps{1, f::kUncappedGroup};
+  auto result = f::MinCostMatcher::solve(p, costs).match;
+  ASSERT_EQ(result.assignment[0], 0);
+  ASSERT_EQ(result.assignment[1], 0);
+  const auto outcome = f::enforce_group_caps(p, costs, groups, caps, result);
+  EXPECT_EQ(outcome.rescues, 1u);
+  EXPECT_EQ(result.assignment[1], 1);
+}
+
+TEST(GroupCaps, RejectsBadShapesAndGroupIds) {
+  f::ConnectionProblem p(1);
+  p.set_capacity(0, 1);
+  p.add_request({0});
+  auto result = p.solve(f::Engine::kDinic);
+  // Row-count mismatch.
+  EXPECT_THROW((void)f::enforce_group_caps(p, {{0}}, {}, {1}, result),
+               std::invalid_argument);
+  // Row-shape mismatch.
+  EXPECT_THROW((void)f::enforce_group_caps(p, {{0}}, {{0, 1}}, {1}, result),
+               std::invalid_argument);
+  // Out-of-range group id.
+  EXPECT_THROW((void)f::enforce_group_caps(p, {{0}}, {{7}}, {1}, result),
+               std::invalid_argument);
+}
+
+TEST(CappedBruteForce, UnlimitedCapsMatchUncappedReference) {
+  p2pvod::util::Rng rng(909);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto problem = random_problem(rng, 4, 5, 2, 0.5);
+    const auto costs = random_costs(rng, problem, 5);
+    const auto groups = zone_groups(problem, 2);
+    const std::vector<std::uint32_t> caps(4, f::kUncappedGroup);
+    const auto capped =
+        f::min_cost_capped_brute_force(problem, costs, groups, caps);
+    const auto plain = f::min_cost_brute_force(problem, costs);
+    ASSERT_EQ(capped.match.served, plain.match.served) << "trial " << trial;
+    ASSERT_EQ(capped.total_cost, plain.total_cost) << "trial " << trial;
+  }
+}
+
+// Acceptance property: on randomized capped instances,
+//   admission-only served <= admission+rescue served <= exact capped served,
+// and every assignment respects box capacities and group budgets. The exact
+// solver upper-bounds the two-pass heuristic by construction.
+TEST(GroupCaps, HeuristicBoundedByExactCappedSolver) {
+  p2pvod::util::Rng rng(24601);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto problem = random_problem(rng, 5, 6, 2, 0.45);
+    const auto costs = random_costs(rng, problem, 4);
+    const auto groups = zone_groups(problem, 2);
+    std::vector<std::uint32_t> caps(4);
+    for (auto& cap : caps) {
+      cap = rng.next_bool(0.25)
+                ? f::kUncappedGroup
+                : static_cast<std::uint32_t>(rng.next_below(3));
+    }
+
+    auto heuristic = f::MinCostMatcher::solve(problem, costs).match;
+    const auto outcome =
+        f::enforce_group_caps(problem, costs, groups, caps, heuristic);
+    ASSERT_LE(outcome.rescues, outcome.rejections) << "trial " << trial;
+    const std::uint32_t admission_only = heuristic.served - static_cast<std::uint32_t>(outcome.rescues);
+
+    const auto exact =
+        f::min_cost_capped_brute_force(problem, costs, groups, caps);
+    ASSERT_LE(admission_only, heuristic.served) << "trial " << trial;
+    ASSERT_LE(heuristic.served, exact.match.served) << "trial " << trial;
+
+    check_group_budgets(problem, groups, caps, heuristic.assignment);
+    check_group_budgets(problem, groups, caps, exact.match.assignment);
+    const auto degrees = heuristic.box_degrees(problem.box_count());
+    for (std::uint32_t b = 0; b < problem.box_count(); ++b)
+      ASSERT_LE(degrees[b], problem.capacity(b)) << "trial " << trial;
+  }
+}

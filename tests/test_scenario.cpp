@@ -139,9 +139,9 @@ struct RunCapture final : sc::ResultSink {
 
 // --- registry ---------------------------------------------------------------
 
-TEST(ScenarioRegistry, BuiltinHoldsAllFifteenFiguresInOrder) {
+TEST(ScenarioRegistry, BuiltinHoldsAllSixteenFiguresInOrder) {
   const auto& registry = sc::ScenarioRegistry::builtin();
-  ASSERT_EQ(registry.size(), 15u);
+  ASSERT_EQ(registry.size(), 16u);
   std::vector<std::string> ids;
   std::vector<std::string> figures;
   for (const sc::Scenario* scenario : registry.list()) {
@@ -152,10 +152,10 @@ TEST(ScenarioRegistry, BuiltinHoldsAllFifteenFiguresInOrder) {
                      "table1", "threshold", "catalog_scaling", "replication",
                      "swarm_growth", "allocation", "hetero", "tradeoff",
                      "startup_delay", "obstruction", "baseline", "churn",
-                     "crosszone", "zonecap", "scaleladder"}));
+                     "crosszone", "zonecap", "scaleladder", "placement"}));
   EXPECT_EQ(figures, (std::vector<std::string>{
                          "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-                         "E10", "E11", "E13", "E14", "E15", "E16"}));
+                         "E10", "E11", "E13", "E14", "E15", "E16", "E17"}));
 }
 
 TEST(ScenarioRegistry, FindAndAtResolveIds) {

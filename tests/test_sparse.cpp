@@ -683,7 +683,9 @@ TEST(SparseEnv, EnvKnobForcesSparsePath) {
   EXPECT_TRUE(sim.sparse_active());
 }
 
-TEST(SparseEnv, TopologySupersedesSparse) {
+TEST(SparseEnv, ExplicitSparseWithTopologyIsConfigError) {
+  // The sparse engine is cost-blind; asking for it together with a topology
+  // used to silently downgrade to dense. It is now a hard config error.
   const m::Catalog catalog(1, 4, 12);
   const auto profile = m::CapacityProfile::homogeneous(4, 2.0, 100.0);
   std::vector<a::Allocation::Placement> placements;
@@ -693,6 +695,23 @@ TEST(SparseEnv, TopologySupersedesSparse) {
   s::PreloadingStrategy strategy;
   s::SimulatorOptions options;
   options.sparse = true;
+  options.topology = &topology;
+  EXPECT_THROW(s::Simulator(catalog, profile, allocation, strategy, options),
+               std::invalid_argument);
+}
+
+TEST(SparseEnv, EnvSparseWithTopologyDowngradesToDense) {
+  // The env knob re-runs whole suites; zone-aware runs must not crash under
+  // it. They stay dense and count the downgrade instead.
+  const ScopedEnv env("P2PVOD_SPARSE", "1");
+  const m::Catalog catalog(1, 4, 12);
+  const auto profile = m::CapacityProfile::homogeneous(4, 2.0, 100.0);
+  std::vector<a::Allocation::Placement> placements;
+  for (std::uint32_t i = 0; i < 4; ++i) placements.push_back({3, i});
+  const a::Allocation allocation(4, 4, std::move(placements));
+  const auto topology = p2pvod::net::Topology::uniform(4, 2);
+  s::PreloadingStrategy strategy;
+  s::SimulatorOptions options;
   options.topology = &topology;
   s::Simulator sim(catalog, profile, allocation, strategy, options);
   EXPECT_FALSE(sim.sparse_active());

@@ -268,6 +268,39 @@ TEST(Stats, SingleSampleHasZeroVariance) {
   EXPECT_EQ(s.stderr_mean(), 0.0);
 }
 
+TEST(Stats, SumSurvivesCatastrophicCancellation) {
+  // A mean*count reconstruction drops the unit addends entirely once the
+  // huge value dominates the Welford mean; the compensated running total
+  // keeps every bit of them.
+  u::OnlineStats s;
+  s.add(1e16);
+  for (int i = 0; i < 1000; ++i) s.add(1.0);
+  s.add(-1e16);
+  EXPECT_DOUBLE_EQ(s.sum(), 1000.0);
+  EXPECT_EQ(s.count(), 1002u);
+}
+
+TEST(Stats, SumOfPlainSamplesIsExact) {
+  u::OnlineStats s;
+  double expected = 0.0;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+    expected += x;
+  }
+  EXPECT_DOUBLE_EQ(s.sum(), expected);
+}
+
+TEST(Stats, MergePreservesCompensatedSum) {
+  u::OnlineStats a, b;
+  a.add(1e16);
+  for (int i = 0; i < 500; ++i) a.add(1.0);
+  for (int i = 0; i < 500; ++i) b.add(1.0);
+  b.add(-1e16);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.sum(), 1000.0);
+  EXPECT_EQ(a.count(), 1002u);
+}
+
 TEST(Stats, QuantileInterpolates) {
   EXPECT_NEAR(u::quantile({1, 2, 3, 4}, 0.5), 2.5, 1e-12);
   EXPECT_NEAR(u::quantile({1, 2, 3, 4}, 0.0), 1.0, 1e-12);
